@@ -1,0 +1,39 @@
+// Fig. 8: effect of the threshold t on the total time and on Phases II/III,
+// per matrix. Paper: the total is convex in t; the t→0 end approaches the
+// MKL (CPU-only) time, and the largest-threshold end approaches the GPU-side
+// behaviour of [13].
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace hh;
+  using namespace hh::bench;
+  print_header("Fig. 8: threshold sweep (total / Phase II / Phase III)");
+
+  ThreadPool pool(0);
+  const double scale = bench_scale();
+  const HeteroPlatform plat = make_scaled_platform(scale);
+
+  for (const DatasetSpec& spec : table1_datasets()) {
+    const CsrMatrix a = make_dataset(spec, scale);
+    const RunResult mkl = run_cpu_only_mkl(a, a, plat, pool);
+    std::printf("--- %s (MKL reference %.3f ms) ---\n", spec.name,
+                mkl.report.total_s * 1e3);
+    std::printf("%10s %12s %12s %12s\n", "t", "total ms", "phase II ms",
+                "phase III ms");
+    double best = -1;
+    for (const offset_t t : threshold_candidates(a)) {
+      HhCpuOptions opt;
+      opt.threshold_a = t;
+      opt.threshold_b = t;
+      const RunResult hh = run_hh_cpu(a, a, opt, plat, pool);
+      if (best < 0 || hh.report.total_s < best) best = hh.report.total_s;
+      std::printf("%10lld %12.3f %12.3f %12.3f\n", static_cast<long long>(t),
+                  hh.report.total_s * 1e3, hh.report.phase2_s * 1e3,
+                  hh.report.phase3_s * 1e3);
+    }
+    std::printf("%10s %12.3f\n\n", "best", best * 1e3);
+  }
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Real wall-clock microbenchmarks of the host kernels (google-benchmark):
+// the SpGEMM accumulator variants, the Phase IV primitives, and the
+// generator. These measure the actual C++ implementations on the build
+// machine — unlike the figure benches, nothing here is simulated.
+#include <benchmark/benchmark.h>
+
+#include "gen/powerlaw_gen.hpp"
+#include "primitives/radix_sort.hpp"
+#include "primitives/scan.hpp"
+#include "primitives/tuple_merge.hpp"
+#include "spgemm/gustavson.hpp"
+#include "spgemm/hash_spgemm.hpp"
+#include "spgemm/heap_spgemm.hpp"
+#include "spgemm/row_column.hpp"
+#include "spgemm/spgemm.hpp"
+#include "spgemm/symbolic.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+hh::CsrMatrix bench_matrix(hh::index_t rows) {
+  hh::PowerLawGenConfig cfg;
+  cfg.rows = rows;
+  cfg.alpha = 2.5;
+  cfg.target_nnz = static_cast<std::int64_t>(rows) * 5;
+  cfg.seed = 12345;
+  return hh::generate_power_law_matrix(cfg);
+}
+
+void BM_GustavsonSpgemm(benchmark::State& state) {
+  const hh::CsrMatrix a = bench_matrix(static_cast<hh::index_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hh::gustavson_spgemm(a, a));
+  }
+  state.SetItemsProcessed(state.iterations() * hh::total_flops(a, a));
+}
+BENCHMARK(BM_GustavsonSpgemm)->Arg(2000)->Arg(8000);
+
+void BM_HashSpgemm(benchmark::State& state) {
+  const hh::CsrMatrix a = bench_matrix(static_cast<hh::index_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hh::hash_spgemm(a, a));
+  }
+  state.SetItemsProcessed(state.iterations() * hh::total_flops(a, a));
+}
+BENCHMARK(BM_HashSpgemm)->Arg(2000)->Arg(8000);
+
+void BM_HeapSpgemm(benchmark::State& state) {
+  const hh::CsrMatrix a = bench_matrix(static_cast<hh::index_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hh::heap_spgemm(a, a));
+  }
+  state.SetItemsProcessed(state.iterations() * hh::total_flops(a, a));
+}
+BENCHMARK(BM_HeapSpgemm)->Arg(2000)->Arg(8000);
+
+void BM_RowColumnSpgemm(benchmark::State& state) {
+  const hh::CsrMatrix a = bench_matrix(static_cast<hh::index_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hh::row_column_spgemm(a, a));
+  }
+  state.SetItemsProcessed(state.iterations() * hh::total_flops(a, a));
+}
+BENCHMARK(BM_RowColumnSpgemm)->Arg(2000);
+
+void BM_RadixSortTuples(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  hh::Xoshiro256 rng(7);
+  std::vector<std::uint64_t> keys(n);
+  for (auto& k : keys) k = rng();
+  std::vector<std::uint32_t> payload(n);
+  for (auto _ : state) {
+    auto k = keys;
+    auto p = payload;
+    hh::radix_sort_kv(k, p);
+    benchmark::DoNotOptimize(k.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RadixSortTuples)->Arg(100000)->Arg(1000000);
+
+void BM_TupleMerge(benchmark::State& state) {
+  const hh::CsrMatrix a = bench_matrix(4000);
+  hh::ThreadPool pool(0);
+  std::vector<hh::index_t> rows(static_cast<std::size_t>(a.rows));
+  for (hh::index_t r = 0; r < a.rows; ++r) rows[r] = r;
+  const hh::CooMatrix coo =
+      hh::partial_product_tuples(a, a, rows, {}, true, pool, nullptr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hh::merged_coo_to_csr(coo, pool, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(coo.nnz()));
+}
+BENCHMARK(BM_TupleMerge);
+
+void BM_ParallelScan(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::int64_t> in(n, 3), out(n);
+  hh::ThreadPool pool(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hh::parallel_exclusive_scan(in, out, pool));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ParallelScan)->Arg(1000000);
+
+void BM_PowerLawGenerator(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bench_matrix(static_cast<hh::index_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_PowerLawGenerator)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,229 @@
+#include "core/csrmm.hpp"
+
+#include <algorithm>
+
+#include "sparse/partition.hpp"
+#include "spgemm/spgemm.hpp"
+#include "util/check.hpp"
+
+namespace hh {
+namespace {
+
+// Synthesize the cost-relevant stats of multiplying the given A rows with a
+// dense B of width n. Every output row is dense (width n), reads of B rows
+// are long coalesced streams, and the accumulator is a register/row buffer —
+// i.e. the regular, happy case for both devices.
+ProductStats csrmm_stats(const CsrMatrix& a, std::span<const index_t> rows,
+                         index_t n) {
+  ProductStats s;
+  for (const index_t r : rows) {
+    const offset_t k = a.row_nnz(r);
+    s.rows += 1;
+    s.a_nnz += k;
+    s.flops += k * n;
+    s.max_row_flops = std::max<std::int64_t>(s.max_row_flops, k * n);
+    s.warp_alu += k * ((n + 31) / 32);
+    s.b_read_bytes += k * static_cast<std::int64_t>(n) * 8;
+  }
+  s.tuples = s.rows * n;   // dense output rows, written streamingly
+  s.flops_shared = s.flops;  // row-buffer accumulation: no global scatter
+  return s;
+}
+
+void csrmm_rows(const CsrMatrix& a, const DenseMatrix& b,
+                std::span<const index_t> rows, DenseMatrix& c,
+                ThreadPool& pool) {
+  pool.parallel_for(
+      static_cast<std::int64_t>(rows.size()),
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t idx = lo; idx < hi; ++idx) {
+          const index_t i = rows[idx];
+          value_t* out = &c.at(i, 0);
+          for (offset_t k = a.indptr[i]; k < a.indptr[i + 1]; ++k) {
+            const value_t av = a.values[k];
+            const value_t* brow = &b.data[static_cast<std::size_t>(
+                                              a.indices[k]) *
+                                          b.cols];
+            for (index_t col = 0; col < b.cols; ++col) {
+              out[col] += av * brow[col];
+            }
+          }
+        }
+      });
+}
+
+// Dense-streaming CPU rate: csrmm's inner loop is a SIMD axpy over a dense
+// row — regular, prefetchable work at ~2 cycles/flop, nothing like the
+// irregular SpGEMM path of CpuSim::kernel_time.
+double cpu_csrmm_time(const CpuCostModel& cm, const ProductStats& s) {
+  const double cycles = 2.0 * static_cast<double>(s.flops) +
+                        20.0 * static_cast<double>(s.a_nnz) +
+                        60.0 * static_cast<double>(s.rows);
+  return cycles /
+         (static_cast<double>(cm.cores) * cm.parallel_eff * cm.clock_ghz * 1e9);
+}
+
+// Dense-streaming GPU rate: fully coalesced reads of dense B rows run near
+// the card's streaming bandwidth, not the irregular-access rate the SpGEMM
+// kernel model uses.
+double gpu_csrmm_time(const GpuCostModel& cm, const ProductStats& s) {
+  if (s.rows == 0) return 0.0;
+  const double bytes = static_cast<double>(s.b_read_bytes) +
+                       12.0 * static_cast<double>(s.a_nnz) +
+                       8.0 * static_cast<double>(s.tuples);
+  const double dense_bw = 100e9;  // ~70% of the K20c's 140+ GB/s streaming
+  return bytes / dense_bw + cm.kernel_launch_s;
+}
+
+// Predicted end-to-end time of a candidate partition, mirroring the charges
+// of run_hh_csrmm (transfers included — for small instances shipping A and
+// the dense B can outweigh any GPU contribution).
+double predict_csrmm_total(const CsrMatrix& a, index_t dense_cols,
+                           const RowPartition& p,
+                           const HeteroPlatform& platform,
+                           bool already_on_gpu) {
+  const ProductStats cpu_stats = csrmm_stats(a, p.high_rows, dense_cols);
+  const ProductStats gpu_stats = csrmm_stats(a, p.low_rows, dense_cols);
+  const double t_cpu = cpu_csrmm_time(platform.cost_model().cpu, cpu_stats);
+  const double t_gpu = gpu_csrmm_time(platform.cost_model().gpu, gpu_stats);
+  // Resident pipelines (already_on_gpu) keep C on the device as well — the
+  // next kernel in the chain consumes it there — so neither transfer applies.
+  double transfer_in = 0, transfer_out = 0;
+  if (gpu_stats.rows > 0 && !already_on_gpu) {
+    transfer_in = platform.link().transfer_time(
+        static_cast<double>(a.byte_size()) +
+        8.0 * static_cast<double>(a.cols) * dense_cols);
+    transfer_out = platform.link().transfer_time(
+        static_cast<double>(gpu_stats.rows) * dense_cols * 8.0);
+  }
+  return std::max(t_cpu, transfer_in + t_gpu) + transfer_out;
+}
+
+// Pick t: start from the CPU's rate-proportional share of the flops (paper
+// §VI: A_H×B on the CPU, A_L×B on the GPU), then keep it only if it beats
+// the all-CPU degenerate (on small instances the PCIe cost can make any GPU
+// involvement a loss).
+offset_t pick_csrmm_threshold(const CsrMatrix& a, index_t dense_cols,
+                              const HeteroPlatform& platform,
+                              bool already_on_gpu) {
+  std::vector<index_t> all(static_cast<std::size_t>(a.rows));
+  for (index_t r = 0; r < a.rows; ++r) all[r] = r;
+  const ProductStats total = csrmm_stats(a, all, dense_cols);
+  if (total.flops == 0) return 1;
+  const double t_cpu = cpu_csrmm_time(platform.cost_model().cpu, total);
+  const double t_gpu = gpu_csrmm_time(platform.cost_model().gpu, total);
+  if (t_cpu <= 0 || t_gpu <= 0) return 1;
+  const double cpu_share = (1.0 / t_cpu) / (1.0 / t_cpu + 1.0 / t_gpu);
+
+  std::vector<offset_t> sizes(static_cast<std::size_t>(a.rows));
+  for (index_t r = 0; r < a.rows; ++r) sizes[r] = a.row_nnz(r);
+  std::sort(sizes.begin(), sizes.end(), std::greater<>());
+  const auto target = static_cast<offset_t>(
+      static_cast<double>(a.nnz()) * cpu_share);
+  offset_t balanced_t = 1;
+  offset_t acc = 0;
+  for (const offset_t k : sizes) {
+    acc += k;
+    if (acc >= target) {
+      balanced_t = std::max<offset_t>(1, k);
+      break;
+    }
+  }
+  const double balanced_total = predict_csrmm_total(
+      a, dense_cols, classify_rows(a, balanced_t), platform, already_on_gpu);
+  const double cpu_only_total = predict_csrmm_total(
+      a, dense_cols, classify_rows(a, 0), platform, already_on_gpu);
+  return balanced_total <= cpu_only_total ? balanced_t : 0;
+}
+
+}  // namespace
+
+DenseMatrix csrmm_reference(const CsrMatrix& a, const DenseMatrix& b) {
+  HH_CHECK_MSG(a.cols == b.rows, "incompatible shapes for csrmm");
+  DenseMatrix c(a.rows, b.cols);
+  for (index_t i = 0; i < a.rows; ++i) {
+    for (offset_t k = a.indptr[i]; k < a.indptr[i + 1]; ++k) {
+      const value_t av = a.values[k];
+      for (index_t col = 0; col < b.cols; ++col) {
+        c.at(i, col) += av * b.at(a.indices[k], col);
+      }
+    }
+  }
+  return c;
+}
+
+CsrmmResult run_hh_csrmm(const CsrMatrix& a, const DenseMatrix& b,
+                         const CsrmmOptions& options,
+                         const HeteroPlatform& platform, ThreadPool& pool) {
+  HH_CHECK_MSG(a.cols == b.rows, "incompatible shapes for csrmm");
+  CsrmmResult res;
+  res.c = DenseMatrix(a.rows, b.cols);
+  RunReport& rep = res.report;
+  rep.algorithm = "HH-CSRMM";
+
+  const offset_t t =
+      options.threshold != 0
+          ? std::max<offset_t>(options.threshold, 0)
+          : pick_csrmm_threshold(a, b.cols, platform,
+                                 options.matrices_already_on_gpu);
+  const RowPartition p = classify_rows(a, t);
+  rep.threshold_a = t;
+  rep.high_rows_a = p.high_count();
+  rep.phase1_s = platform.cpu().classify_time(a.rows);
+
+  // Input transfer: A and the dense B go to the GPU — only if the GPU has
+  // any rows to work on.
+  rep.transfer_in_s =
+      (p.low_count() > 0 && !options.matrices_already_on_gpu)
+          ? platform.link().transfer_time(static_cast<double>(a.byte_size()) +
+                                          static_cast<double>(b.byte_size()))
+          : 0.0;
+
+  // Phase II: CPU on A_H×B, GPU on A_L×B (overlapped). Dense-row streaming
+  // is column-blockable by construction.
+  csrmm_rows(a, b, p.high_rows, res.c, pool);
+  csrmm_rows(a, b, p.low_rows, res.c, pool);
+  const ProductStats cpu_stats = csrmm_stats(a, p.high_rows, b.cols);
+  const ProductStats gpu_stats = csrmm_stats(a, p.low_rows, b.cols);
+  const double t_cpu = cpu_csrmm_time(platform.cost_model().cpu, cpu_stats);
+  const double t_gpu = gpu_csrmm_time(platform.cost_model().gpu, gpu_stats);
+  rep.phase2_cpu_s = t_cpu;
+  rep.phase2_gpu_s = t_gpu;
+
+  // Phase III analogue: the earlier-finishing device steals rows from the
+  // slower side until the completion times meet (work is row-divisible, so
+  // the meeting point is the harmonic balance of the leftover).
+  const double cpu_done = rep.phase1_s + t_cpu;
+  const double gpu_done = rep.phase1_s + rep.transfer_in_s + t_gpu;
+  double end = std::max(cpu_done, gpu_done);
+  const double slack = std::abs(cpu_done - gpu_done);
+  if (cpu_stats.flops + gpu_stats.flops > 0 && slack > 0) {
+    const double cpu_rate =
+        t_cpu > 0 ? static_cast<double>(cpu_stats.flops) / t_cpu : 0;
+    const double gpu_rate =
+        t_gpu > 0 ? static_cast<double>(gpu_stats.flops) / t_gpu : 0;
+    if (cpu_rate > 0 && gpu_rate > 0) {
+      // Moving x flops from the late device to the early one meets when
+      // slack == x/rate_early + x/rate_late.
+      const double meet = slack / (1.0 / cpu_rate + 1.0 / gpu_rate) *
+                          (1.0 / std::max(cpu_rate, gpu_rate));
+      end -= meet;
+      rep.phase3_s = meet;
+    }
+  }
+  rep.phase2_s = HeteroPlatform::overlap(t_cpu, t_gpu);
+
+  // Output: the GPU's C rows come back dense (resident pipelines keep C on
+  // the device for the next kernel in the chain).
+  rep.transfer_out_s =
+      (gpu_stats.rows > 0 && !options.matrices_already_on_gpu)
+          ? platform.link().transfer_time(
+                static_cast<double>(gpu_stats.rows) * b.cols * 8.0)
+          : 0.0;
+  rep.flops = cpu_stats.flops + gpu_stats.flops;
+  rep.output_nnz = static_cast<std::int64_t>(res.c.data.size());
+  rep.total_s = end + rep.transfer_out_s;
+  return res;
+}
+
+}  // namespace hh

@@ -1,0 +1,43 @@
+// The paper's §VI extension: heterogeneous csrmm — sparse (scale-free) A
+// times dense B. "Since B is dense, the work can be divided as multiplying
+// the high-density submatrix A_H of A with B on the CPU and the low-density
+// submatrix A_L of A with B on the GPU."
+//
+// There are no cross products and no merge: every output row is produced by
+// exactly one device, so the algorithm is two overlapped kernels plus a
+// workqueue tail for dynamic balance. As with SpGEMM, the numeric result is
+// exact and times come from the simulated platform.
+#pragma once
+
+#include "core/report.hpp"
+#include "device/platform.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/dense.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hh {
+
+struct CsrmmOptions {
+  offset_t threshold = 0;  // 0 = rate-proportional pick; < 0 forces all-CPU
+  // Iterative workloads (e.g. block Krylov, SpMM-chains) keep A and B
+  // resident on the device; without the PCIe charge the heterogeneous split
+  // pays off at much lower densities.
+  bool matrices_already_on_gpu = false;
+};
+
+struct CsrmmResult {
+  DenseMatrix c;
+  RunReport report;
+};
+
+/// Heterogeneous A (CSR) × B (dense): A_H×B on the CPU, A_L×B on the GPU,
+/// overlapped; whichever device finishes first steals remaining rows of the
+/// other side in work units.
+CsrmmResult run_hh_csrmm(const CsrMatrix& a, const DenseMatrix& b,
+                         const CsrmmOptions& options,
+                         const HeteroPlatform& platform, ThreadPool& pool);
+
+/// Reference dense result for tests (single pass, no devices).
+DenseMatrix csrmm_reference(const CsrMatrix& a, const DenseMatrix& b);
+
+}  // namespace hh

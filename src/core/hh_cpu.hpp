@@ -1,0 +1,38 @@
+// Algorithm HH-CPU (paper Algorithm 1): heterogeneous SpGEMM for scale-free
+// matrices on a CPU+GPU platform.
+//
+//   Phase I    identify thresholds and the A_H/A_L, B_H/B_L views
+//   Phase II   CPU: A_H×B_H (cache-friendly dense×dense)  ∥
+//              GPU: A_L×B_L (many tiny independent row tasks)
+//   Phase III  double-ended workqueue over A_L×B_H (CPU end) and
+//              A_H×B_L (GPU end); a device finishing its side steals
+//   Phase IV   merge all ⟨r,c,v⟩ tuples into the final CSR; GPU partials
+//              are shipped back over PCIe
+//
+// Numeric work executes on the host; time is charged on the simulated
+// platform (DESIGN.md §1). The returned matrix is exact.
+#pragma once
+
+#include "core/partition_plan.hpp"
+#include "core/report.hpp"
+#include "device/platform.hpp"
+#include "sched/workqueue.hpp"
+#include "sparse/csr.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hh {
+
+struct HhCpuOptions {
+  offset_t threshold_a = 0;  // 0 = analytic pick (shared t, as in Fig. 8)
+  offset_t threshold_b = 0;
+  WorkQueueConfig queue;
+  bool matrices_already_on_gpu = false;  // skip the input transfer charge
+};
+
+/// Run Algorithm HH-CPU for C = A × B. When &a == &b (the paper multiplies
+/// each matrix with itself) the input is transferred once.
+RunResult run_hh_cpu(const CsrMatrix& a, const CsrMatrix& b,
+                     const HhCpuOptions& options, const HeteroPlatform& platform,
+                     ThreadPool& pool);
+
+}  // namespace hh

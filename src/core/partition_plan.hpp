@@ -1,0 +1,30 @@
+// Phase I of Algorithm HH-CPU: identify thresholds t_A, t_B and the logical
+// submatrices A_H, A_L, B_H, B_L, and charge its (small) simulated cost:
+// row sizes are shipped to the GPU, which computes the Boolean
+// high-density array (paper §III-A: "embarrassingly parallel ... we perform
+// this computation on GPU. For this computation we need only row sizes").
+#pragma once
+
+#include "device/platform.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/partition.hpp"
+
+namespace hh {
+
+struct PartitionPlan {
+  RowPartition a;
+  RowPartition b;
+  double phase1_s = 0;      // classification + row-size transfer
+  double ws_bh_bytes = 0;   // working set of B_H (12 bytes / nnz)
+  double ws_bl_bytes = 0;   // working set of B_L
+  double ws_b_bytes = 0;    // all of B
+};
+
+/// Build the plan for thresholds (t_a, t_b). Pass 0 for either to have the
+/// analytic picker choose it (both zeros share one picked t, as in the
+/// paper's per-matrix sweep).
+PartitionPlan make_partition_plan(const CsrMatrix& a, const CsrMatrix& b,
+                                  offset_t t_a, offset_t t_b,
+                                  const HeteroPlatform& platform);
+
+}  // namespace hh

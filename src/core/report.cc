@@ -1,0 +1,36 @@
+#include "core/report.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace hh {
+namespace {
+
+std::string ms(double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f ms", seconds * 1e3);
+  return buf;
+}
+
+}  // namespace
+
+std::string RunReport::to_string() const {
+  std::ostringstream os;
+  os << algorithm << ": total " << ms(total_s) << "\n";
+  os << "  phase I   " << ms(phase1_s) << "  (t_A=" << threshold_a
+     << ", t_B=" << threshold_b << ", |A_H|=" << high_rows_a
+     << ", |B_H|=" << high_rows_b << ")\n";
+  os << "  phase II  " << ms(phase2_s) << "  (cpu " << ms(phase2_cpu_s)
+     << ", gpu " << ms(phase2_gpu_s) << ")\n";
+  os << "  phase III " << ms(phase3_s) << "  (cpu " << ms(phase3_cpu_s)
+     << ", gpu " << ms(phase3_gpu_s) << ", units " << queue_cpu_units << "/"
+     << queue_gpu_units << ")\n";
+  os << "  phase IV  " << ms(phase4_s) << "  (" << merge.tuples_in
+     << " tuples -> " << merge.tuples_out << ")\n";
+  os << "  transfers in " << ms(transfer_in_s) << ", out "
+     << ms(transfer_out_s) << "\n";
+  os << "  flops " << flops << ", output nnz " << output_nnz << "\n";
+  return os.str();
+}
+
+}  // namespace hh

@@ -1,0 +1,48 @@
+// Per-run accounting: everything Figs. 6–10 need — total simulated time,
+// per-phase and per-device breakdown, transfer costs, and output statistics.
+#pragma once
+
+#include <string>
+
+#include "primitives/tuple_merge.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/types.hpp"
+
+namespace hh {
+
+struct RunReport {
+  std::string algorithm;
+
+  // Simulated seconds. total_s is end-to-end; the phase fields follow the
+  // paper's Fig. 7 convention: each phase is the max time either device
+  // spent on it.
+  double total_s = 0;
+  double phase1_s = 0;    // threshold identification + classification
+  double phase2_s = 0;    // A_H×B_H ∥ A_L×B_L (or the whole product for
+                          // single-device baselines)
+  double phase3_s = 0;    // workqueue products
+  double phase4_s = 0;    // tuple merge
+  double transfer_in_s = 0;   // host → device matrices
+  double transfer_out_s = 0;  // device → host partial results
+
+  // Per-device busy time inside the overlapped phases.
+  double phase2_cpu_s = 0, phase2_gpu_s = 0;
+  double phase3_cpu_s = 0, phase3_gpu_s = 0;
+
+  offset_t threshold_a = 0, threshold_b = 0;
+  index_t high_rows_a = 0, high_rows_b = 0;
+  std::int64_t flops = 0;
+  std::int64_t output_nnz = 0;
+  MergeStats merge;
+  int queue_cpu_units = 0, queue_gpu_units = 0;
+
+  /// Multi-line human-readable rendering.
+  std::string to_string() const;
+};
+
+struct RunResult {
+  CsrMatrix c;
+  RunReport report;
+};
+
+}  // namespace hh

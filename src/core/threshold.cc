@@ -1,0 +1,146 @@
+#include "core/threshold.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/hh_cpu.hpp"
+#include "sparse/partition.hpp"
+#include "sparse/row_stats.hpp"
+#include "spgemm/spgemm.hpp"
+#include "util/check.hpp"
+
+namespace hh {
+
+std::vector<offset_t> threshold_candidates(const CsrMatrix& m,
+                                           int max_candidates) {
+  HH_CHECK(max_candidates >= 2);
+  const RowStats s = row_stats(m);
+  const offset_t lo = std::max<offset_t>(2, s.min + 1);
+  const offset_t hi = std::max<offset_t>(lo + 1, s.max + 1);
+  std::vector<offset_t> out;
+  const double ratio = std::pow(static_cast<double>(hi) /
+                                    static_cast<double>(lo),
+                                1.0 / (max_candidates - 1));
+  double x = static_cast<double>(lo);
+  for (int i = 0; i < max_candidates; ++i) {
+    const auto t = static_cast<offset_t>(std::llround(x));
+    if (out.empty() || t > out.back()) out.push_back(t);
+    x *= ratio;
+  }
+  return out;
+}
+
+double predict_total_time(const CsrMatrix& a, const CsrMatrix& b, offset_t t,
+                          const HeteroPlatform& platform) {
+  const RowPartition pa = classify_rows(a, t);
+  const RowPartition pb = classify_rows(b, t);
+
+  const double ws_bh = 12.0 * static_cast<double>(pb.high_nnz);
+  const double ws_bl = 12.0 * static_cast<double>(pb.low_nnz);
+
+  // Phase II products (empty sides skipped, as in run_hh_cpu).
+  const ProductStats hh =
+      (pa.high_count() > 0 && pb.high_count() > 0)
+          ? estimate_partial_product(a, b, pa.high_rows, pb.is_high, true)
+          : ProductStats{};
+  const ProductStats ll =
+      (pa.low_count() > 0 && pb.low_count() > 0)
+          ? estimate_partial_product(a, b, pa.low_rows, pb.is_high, false)
+          : ProductStats{};
+  const double t2_cpu =
+      platform.cpu().kernel_time(hh, ws_bh, true, /*blockable=*/true);
+  double t2_gpu = platform.gpu().kernel_time(ll);
+  // The GPU only waits for the input transfer if this threshold gives it
+  // any work at all; a CPU-only partition skips the link entirely.
+  if (ll.flops > 0 || pa.high_count() < a.rows || pb.high_count() < b.rows) {
+    double transfer_in = platform.link().matrix_transfer_time(a);
+    if (&a != &b) transfer_in += platform.link().matrix_transfer_time(b);
+    t2_gpu += transfer_in;
+  }
+  const double t2 = HeteroPlatform::overlap(t2_cpu, t2_gpu);
+
+  // Phase III products, shared dynamically: if the CPU alone would take Tc
+  // and the GPU alone Tg for the whole phase-III workload, the workqueue
+  // approaches the harmonic time Tc·Tg/(Tc+Tg).
+  // Cross products with an empty B side are skipped by run_hh_cpu; mirror
+  // that here so predictions rank thresholds the way the algorithm behaves.
+  const ProductStats lh =
+      pb.high_count() > 0
+          ? estimate_partial_product(a, b, pa.low_rows, pb.is_high, true)
+          : ProductStats{};
+  const ProductStats hl =
+      pb.low_count() > 0
+          ? estimate_partial_product(a, b, pa.high_rows, pb.is_high, false)
+          : ProductStats{};
+  ProductStats p3 = lh;
+  p3.accumulate(hl);
+  const double t3_cpu =
+      platform.cpu().kernel_time(lh, ws_bh, true, /*blockable=*/true) +
+      platform.cpu().kernel_time(hl, ws_bl, true, /*blockable=*/false);
+  const double t3_gpu = platform.gpu().kernel_time(p3);
+  const double t3 = (t3_cpu <= 0 || t3_gpu <= 0)
+                        ? std::max(t3_cpu, t3_gpu)
+                        : t3_cpu * t3_gpu / (t3_cpu + t3_gpu);
+
+  // Phase IV on the tuple upper bound, plus the GPU→CPU result transfer:
+  // tuples produced on the GPU cross PCIe, so giving the CPU work also
+  // saves link time — the ranking must see that. The GPU's share of the
+  // Phase III tuples is its share of the harmonic split, t3/t3_gpu.
+  const std::int64_t tuples = hh.tuples + ll.tuples + p3.tuples;
+  const double t4 = platform.cpu().merge_time(tuples);
+  double gpu_tuples = static_cast<double>(ll.tuples);
+  if (t3_gpu > 0) gpu_tuples += static_cast<double>(p3.tuples) * t3 / t3_gpu;
+  const double t_out = platform.link().transfer_time(16.0 * gpu_tuples);
+  return t2 + t3 + t4 + t_out;
+}
+
+ThresholdChoice pick_threshold_analytic(const CsrMatrix& a,
+                                        const CsrMatrix& b,
+                                        const HeteroPlatform& platform) {
+  // Shared candidate grid: union of both matrices' grids.
+  std::vector<offset_t> cand = threshold_candidates(a);
+  const std::vector<offset_t> cb = threshold_candidates(b);
+  cand.insert(cand.end(), cb.begin(), cb.end());
+  std::sort(cand.begin(), cand.end());
+  cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
+
+  ThresholdChoice best;
+  best.predicted_s = -1;
+  for (const offset_t t : cand) {
+    const double pred = predict_total_time(a, b, t, platform);
+    if (best.predicted_s < 0 || pred < best.predicted_s) {
+      best.t = t;
+      best.predicted_s = pred;
+    }
+  }
+  HH_CHECK(best.predicted_s >= 0);
+  return best;
+}
+
+ThresholdChoice pick_threshold_empirical(const CsrMatrix& a,
+                                         const CsrMatrix& b,
+                                         const HeteroPlatform& platform,
+                                         ThreadPool& pool) {
+  std::vector<offset_t> cand = threshold_candidates(a);
+  const std::vector<offset_t> cb = threshold_candidates(b);
+  cand.insert(cand.end(), cb.begin(), cb.end());
+  std::sort(cand.begin(), cand.end());
+  cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
+
+  ThresholdChoice best;
+  best.predicted_s = -1;
+  for (const offset_t t : cand) {
+    HhCpuOptions options;
+    options.threshold_a = t;
+    options.threshold_b = t;
+    const RunResult run = run_hh_cpu(a, b, options, platform, pool);
+    if (best.predicted_s < 0 || run.report.total_s < best.predicted_s) {
+      best.t = t;
+      best.predicted_s = run.report.total_s;
+    }
+  }
+  HH_CHECK(best.predicted_s >= 0);
+  return best;
+}
+
+}  // namespace hh

@@ -1,0 +1,49 @@
+// Phase I threshold identification (paper §III-A).
+//
+// The paper picks t empirically (and names analytic identification as
+// future work, §VI). We provide both: pick_threshold_analytic() evaluates a
+// small candidate grid with structure-only estimates and the device models
+// — the architecture-aware analytic method — and threshold_candidates()
+// exposes the grid so benches can run the full empirical sweep of Fig. 8.
+#pragma once
+
+#include <vector>
+
+#include "device/platform.hpp"
+#include "sparse/csr.hpp"
+
+namespace hh {
+
+/// Log-spaced candidate thresholds covering the row-size range of `m`
+/// (deduplicated, ascending, at most `max_candidates`).
+std::vector<offset_t> threshold_candidates(const CsrMatrix& m,
+                                           int max_candidates = 12);
+
+struct ThresholdChoice {
+  offset_t t = 0;
+  double predicted_s = 0;  // model-predicted total for this t
+};
+
+/// Predict HH-CPU's total time for threshold t (same t for A and B, as in
+/// the paper's per-matrix sweep) from symbolic estimates: Phase II is the
+/// max of the two device products, Phase III is the harmonic sharing of the
+/// cross products between the devices.
+double predict_total_time(const CsrMatrix& a, const CsrMatrix& b, offset_t t,
+                          const HeteroPlatform& platform);
+
+/// argmin over threshold_candidates() of predict_total_time().
+ThresholdChoice pick_threshold_analytic(const CsrMatrix& a,
+                                        const CsrMatrix& b,
+                                        const HeteroPlatform& platform);
+
+/// The paper's method (§III-A): run the full algorithm for every candidate
+/// threshold and keep the best *measured* total. Costs one full multiply per
+/// candidate; the experiment harness uses this, mirroring the paper's
+/// offline per-matrix tuning, while pick_threshold_analytic() is the cheap
+/// in-line default.
+ThresholdChoice pick_threshold_empirical(const CsrMatrix& a,
+                                         const CsrMatrix& b,
+                                         const HeteroPlatform& platform,
+                                         ThreadPool& pool);
+
+}  // namespace hh

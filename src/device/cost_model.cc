@@ -1,0 +1,3 @@
+// cost_model.hpp is all data; this translation unit exists so the module has
+// a home for future calibration tables without touching the header.
+#include "device/cost_model.hpp"

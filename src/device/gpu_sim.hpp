@@ -1,0 +1,36 @@
+// Simulated Tesla K20c running the warp-per-row row-row SpGEMM kernel of
+// [13] (paper §II-A(b)). Converts ProductStats of an actually-executed
+// kernel into simulated seconds. See cost_model.hpp for the model terms.
+#pragma once
+
+#include "device/cost_model.hpp"
+#include "spgemm/spgemm.hpp"
+
+namespace hh {
+
+class GpuSim {
+ public:
+  explicit GpuSim(const GpuCostModel& cm) : cm_(cm) {}
+
+  /// Time of one launch of the [13] warp-per-row kernel over the rows
+  /// summarized by `s`. Roofline of ALU issue, memory traffic, and the
+  /// serial heaviest-row tail, plus launch overhead.
+  double kernel_time(const ProductStats& s) const;
+
+  /// cuSPARSE-like generic kernel (expand–sort–contract): pays sort traffic
+  /// proportional to flops. The GPU-only library baseline of Fig. 6.
+  double generic_time(const ProductStats& s) const;
+
+  /// Phase I: build the Boolean high/low row array for `rows` rows.
+  double classify_time(std::int64_t rows) const;
+
+  /// Phase IV share when the GPU pre-sorts its own tuples before transfer.
+  double tuple_sort_time(std::int64_t tuples) const;
+
+  const GpuCostModel& model() const { return cm_; }
+
+ private:
+  GpuCostModel cm_;
+};
+
+}  // namespace hh

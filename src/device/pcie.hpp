@@ -1,0 +1,30 @@
+// PCIe 2.0 ×16 link between host and device (paper §II-B: 8 GB/s nominal;
+// §IV-A: ~25–30 ms to ship a ~5 M-nnz matrix).
+#pragma once
+
+#include <cstdint>
+
+#include "device/cost_model.hpp"
+#include "sparse/csr.hpp"
+
+namespace hh {
+
+class PcieLink {
+ public:
+  explicit PcieLink(const PcieCostModel& cm) : cm_(cm) {}
+
+  double transfer_time(double bytes) const;
+
+  /// Shipping a CSR matrix (indptr + indices + values).
+  double matrix_transfer_time(const CsrMatrix& m) const;
+
+  /// Shipping n tuples of ⟨r, c, v⟩ (4 + 4 + 8 bytes).
+  double tuple_transfer_time(std::int64_t n) const;
+
+  const PcieCostModel& model() const { return cm_; }
+
+ private:
+  PcieCostModel cm_;
+};
+
+}  // namespace hh

@@ -1,0 +1,16 @@
+#include "device/platform.hpp"
+
+#include "spgemm/spgemm.hpp"
+#include "util/check.hpp"
+
+namespace hh {
+
+HeteroPlatform make_scaled_platform(double scale, CostModel cm) {
+  HH_CHECK(scale > 0 && scale <= 1.0);
+  cm.cpu.l3_bytes *= scale;
+  set_shared_accum_cap(std::max<std::int64_t>(
+      16, static_cast<std::int64_t>(kSharedAccumCap * scale)));
+  return HeteroPlatform(cm);
+}
+
+}  // namespace hh

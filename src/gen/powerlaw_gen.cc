@@ -1,0 +1,198 @@
+#include "gen/powerlaw_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/prng.hpp"
+
+namespace hh {
+
+std::int64_t sample_power_law_degree(double alpha, std::int64_t kmin,
+                                     std::int64_t kmax, double u01) {
+  HH_CHECK(alpha > 1.0 && kmin >= 1 && kmax >= kmin);
+  // Clauset–Shalizi–Newman's continuous approximation of the discrete power
+  // law: draw a continuous Pareto starting at kmin − ½ and round to the
+  // nearest integer. This is the convention the MLE's ½-shift assumes, so
+  // fitted exponents of generated data recover the generating α.
+  const double a1 = 1.0 - alpha;
+  const double lo = std::pow(static_cast<double>(kmin) - 0.5, a1);
+  const double hi = std::pow(static_cast<double>(kmax) + 0.5, a1);
+  const double x = std::pow(lo + u01 * (hi - lo), 1.0 / a1);
+  const auto k = static_cast<std::int64_t>(std::llround(x));
+  return std::clamp(k, kmin, kmax);
+}
+
+namespace {
+
+// Alias table for O(1) sampling from a discrete weight distribution
+// (Walker / Vose). Used for the column-endpoint distribution.
+class AliasTable {
+ public:
+  explicit AliasTable(const std::vector<double>& weights) {
+    const std::size_t n = weights.size();
+    HH_CHECK(n > 0);
+    prob_.resize(n);
+    alias_.resize(n);
+    double total = 0;
+    for (const double w : weights) total += w;
+    HH_CHECK(total > 0);
+
+    std::vector<double> scaled(n);
+    std::vector<std::size_t> small, large;
+    for (std::size_t i = 0; i < n; ++i) {
+      scaled[i] = weights[i] * static_cast<double>(n) / total;
+      (scaled[i] < 1.0 ? small : large).push_back(i);
+    }
+    while (!small.empty() && !large.empty()) {
+      const std::size_t s = small.back();
+      small.pop_back();
+      const std::size_t l = large.back();
+      prob_[s] = scaled[s];
+      alias_[s] = l;
+      scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+      if (scaled[l] < 1.0) {
+        large.pop_back();
+        small.push_back(l);
+      }
+    }
+    for (const std::size_t i : large) {
+      prob_[i] = 1.0;
+      alias_[i] = i;
+    }
+    for (const std::size_t i : small) {
+      prob_[i] = 1.0;
+      alias_[i] = i;
+    }
+  }
+
+  std::size_t sample(Xoshiro256& rng) const {
+    const std::size_t i =
+        static_cast<std::size_t>(rng.below(prob_.size()));
+    return rng.uniform() < prob_[i] ? i : alias_[i];
+  }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::size_t> alias_;
+};
+
+}  // namespace
+
+namespace {
+
+// Knuth's method; fine for the small means (< 50) the datasets need.
+std::int64_t sample_poisson(double mean, Xoshiro256& rng) {
+  const double limit = std::exp(-mean);
+  double p = 1.0;
+  std::int64_t k = 0;
+  do {
+    ++k;
+    p *= rng.uniform();
+  } while (p > limit);
+  return k - 1;
+}
+
+}  // namespace
+
+CsrMatrix generate_power_law_matrix(const PowerLawGenConfig& cfg) {
+  HH_CHECK(cfg.rows > 0);
+  HH_CHECK(cfg.alpha > 1.0);
+  const index_t cols = cfg.cols > 0 ? cfg.cols : cfg.rows;
+  Xoshiro256 rng(cfg.seed);
+
+  // 1. Raw degree sequence.
+  std::int64_t kmax = cfg.kmax;
+  if (kmax <= 0) {
+    const double volume = static_cast<double>(
+        std::max<std::int64_t>(cfg.target_nnz, cfg.rows));
+    kmax = std::min<std::int64_t>(
+        cols, std::max<std::int64_t>(cfg.kmin + 1,
+                                     static_cast<std::int64_t>(
+                                         2.0 * std::sqrt(volume))));
+  }
+  kmax = std::max(kmax, cfg.kmin);
+  std::vector<std::int64_t> degree(static_cast<std::size_t>(cfg.rows));
+  std::int64_t sum = 0;
+  if (cfg.dist == DegreeDist::kPoisson) {
+    double mean = cfg.poisson_mean;
+    if (mean <= 0 && cfg.target_nnz > 0) {
+      mean = static_cast<double>(cfg.target_nnz) /
+             static_cast<double>(cfg.rows);
+    }
+    HH_CHECK_MSG(mean > 1.0, "Poisson mode needs a mean row size > 1");
+    for (auto& d : degree) {
+      d = std::min<std::int64_t>(kmax, 1 + sample_poisson(mean - 1.0, rng));
+      sum += d;
+    }
+  } else {
+    for (auto& d : degree) {
+      d = sample_power_law_degree(cfg.alpha, cfg.kmin, kmax, rng.uniform());
+      sum += d;
+    }
+  }
+
+  // 2. Rescale multiplicatively to hit target_nnz (keeps the tail exponent).
+  if (cfg.target_nnz > 0 && sum > 0) {
+    const double ratio = static_cast<double>(cfg.target_nnz) /
+                         static_cast<double>(sum);
+    for (auto& d : degree) {
+      const double scaled = static_cast<double>(d) * ratio;
+      // Stochastic rounding keeps the expected total exact.
+      auto floor_part = static_cast<std::int64_t>(scaled);
+      if (rng.uniform() < scaled - static_cast<double>(floor_part)) {
+        ++floor_part;
+      }
+      d = std::min<std::int64_t>(std::max<std::int64_t>(floor_part, 0), kmax);
+    }
+  }
+
+  // 3. Column-endpoint weights. Correlated mode reuses the degree sequence
+  //    (hub rows are hub columns, as in real web/citation graphs);
+  //    independent mode draws a fresh power-law weight per column.
+  std::vector<double> col_weight(static_cast<std::size_t>(cols));
+  if (cfg.correlate_columns && cols == cfg.rows) {
+    for (index_t c = 0; c < cols; ++c) {
+      col_weight[c] = static_cast<double>(std::max<std::int64_t>(1, degree[c]));
+    }
+  } else {
+    for (auto& w : col_weight) {
+      w = static_cast<double>(
+          sample_power_law_degree(cfg.alpha, 1, kmax, rng.uniform()));
+    }
+  }
+  const AliasTable col_sampler(col_weight);
+
+  // 4. Emit rows; duplicates within a row are removed (thinning a row by a
+  //    few entries does not change the degree distribution's tail).
+  CsrMatrix m(cfg.rows, cols);
+  std::size_t reserve = 0;
+  for (const auto d : degree) reserve += static_cast<std::size_t>(d);
+  m.indices.reserve(reserve);
+  m.values.reserve(reserve);
+  std::vector<index_t> row_cols;
+  for (index_t r = 0; r < cfg.rows; ++r) {
+    const std::int64_t d = degree[r];
+    row_cols.clear();
+    if (d >= cols) {
+      row_cols.resize(static_cast<std::size_t>(cols));
+      for (index_t c = 0; c < cols; ++c) row_cols[c] = c;
+    } else {
+      for (std::int64_t k = 0; k < d; ++k) {
+        row_cols.push_back(static_cast<index_t>(col_sampler.sample(rng)));
+      }
+      std::sort(row_cols.begin(), row_cols.end());
+      row_cols.erase(std::unique(row_cols.begin(), row_cols.end()),
+                     row_cols.end());
+    }
+    for (const index_t c : row_cols) {
+      m.indices.push_back(c);
+      m.values.push_back(0.5 + rng.uniform());
+    }
+    m.indptr[r + 1] = static_cast<offset_t>(m.indices.size());
+  }
+  return m;
+}
+
+}  // namespace hh

@@ -1,0 +1,58 @@
+// Synthetic scale-free matrix generation — the GTgraph substitute (paper
+// §V-D uses GTgraph [3] to produce graphs whose degree sequence is power-law
+// and interprets them as matrices).
+//
+// Row degrees are drawn from a discrete power law P(k) ∝ k^-α on
+// [kmin, kmax], rescaled to hit a target nnz (rescaling preserves the tail
+// exponent); column endpoints are drawn from an independent power-law weight
+// sequence so column densities are scale-free too, as in real web/citation
+// graphs.
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/csr.hpp"
+
+namespace hh {
+
+enum class DegreeDist {
+  kPowerLaw,  // discrete power law with exponent alpha (scale-free)
+  kPoisson,   // Poisson(mean-1)+1: the narrow unimodal row-size profile of
+              // the paper's non-scale-free matrices (roadNet-CA, cop20kA,
+              // p2p-Gnutella31 — Fig. 5 shows their spread of ~1..12 around
+              // the mean rather than a heavy tail)
+};
+
+struct PowerLawGenConfig {
+  index_t rows = 0;
+  index_t cols = 0;            // 0 = square
+  double alpha = 3.0;          // target tail exponent (> 1)
+  DegreeDist dist = DegreeDist::kPowerLaw;
+  double poisson_mean = 0;     // kPoisson: mean row size (0 = derive from
+                               // target_nnz / rows)
+  std::int64_t target_nnz = 0; // 0 = whatever the raw sampling produces
+  std::int64_t kmin = 1;       // minimum row degree before rescaling
+  std::int64_t kmax = 0;       // maximum row degree; 0 = auto, which caps at
+                               // min(cols, 2·sqrt(max(target_nnz, rows))) —
+                               // the hub-size-to-volume ratio real SNAP
+                               // graphs show (webbase-1M: max row 4700 of
+                               // 3.1 M nnz ≈ 2.7·sqrt(nnz))
+  std::uint64_t seed = 1;
+  // Real scale-free graphs (web, citation, social) have correlated in- and
+  // out-degree: hub rows are also hub columns. With this set (and a square
+  // matrix), column endpoints are drawn proportionally to the row-degree
+  // sequence, which reproduces the hub-amplified flops profile of the
+  // paper's datasets (flops/nnz ≫ mean degree). When false, columns come
+  // from an independent power-law weight sequence.
+  bool correlate_columns = true;
+};
+
+/// Generate a scale-free CSR matrix. Values uniform in [0.5, 1.5] so that
+/// products have no systematic cancellation. Deterministic in `seed`.
+CsrMatrix generate_power_law_matrix(const PowerLawGenConfig& cfg);
+
+/// Draw one degree sample from the discrete power law (exposed for tests).
+std::int64_t sample_power_law_degree(double alpha, std::int64_t kmin,
+                                     std::int64_t kmax, double u01);
+
+}  // namespace hh

@@ -1,0 +1,49 @@
+#include "gen/rmat.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/prng.hpp"
+
+namespace hh {
+
+CsrMatrix generate_rmat_matrix(const RmatConfig& cfg) {
+  HH_CHECK(cfg.scale >= 1 && cfg.scale <= 30);
+  HH_CHECK(cfg.edges > 0);
+  const double total = cfg.a + cfg.b + cfg.c + cfg.d;
+  HH_CHECK_MSG(std::abs(total - 1.0) < 1e-9, "R-MAT probabilities must sum to 1");
+
+  const auto n = static_cast<index_t>(std::int64_t{1} << cfg.scale);
+  Xoshiro256 rng(cfg.seed);
+
+  std::vector<index_t> tr, tc;
+  std::vector<value_t> tv;
+  tr.reserve(static_cast<std::size_t>(cfg.edges));
+  tc.reserve(static_cast<std::size_t>(cfg.edges));
+  tv.reserve(static_cast<std::size_t>(cfg.edges));
+  for (std::int64_t e = 0; e < cfg.edges; ++e) {
+    index_t r = 0, c = 0;
+    for (int level = 0; level < cfg.scale; ++level) {
+      const double u = rng.uniform();
+      r <<= 1;
+      c <<= 1;
+      if (u < cfg.a) {
+        // top-left: nothing to add
+      } else if (u < cfg.a + cfg.b) {
+        c |= 1;
+      } else if (u < cfg.a + cfg.b + cfg.c) {
+        r |= 1;
+      } else {
+        r |= 1;
+        c |= 1;
+      }
+    }
+    tr.push_back(r);
+    tc.push_back(c);
+    tv.push_back(0.5 + rng.uniform());
+  }
+  return csr_from_triplets(n, n, tr, tc, tv);
+}
+
+}  // namespace hh

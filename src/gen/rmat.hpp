@@ -1,0 +1,22 @@
+// R-MAT recursive matrix generator [Chakrabarti et al. 2004] — the second
+// generator family GTgraph offers. Produces skewed degree distributions via
+// recursive quadrant descent.
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/csr.hpp"
+
+namespace hh {
+
+struct RmatConfig {
+  int scale = 10;                 // matrix is 2^scale square
+  std::int64_t edges = 0;         // number of sampled edges (pre-dedup)
+  double a = 0.57, b = 0.19, c = 0.19, d = 0.05;
+  std::uint64_t seed = 1;
+};
+
+/// Generate an R-MAT matrix; duplicate edges collapse (values summed).
+CsrMatrix generate_rmat_matrix(const RmatConfig& cfg);
+
+}  // namespace hh

@@ -1,0 +1,35 @@
+// Discrete power-law fitting per Clauset–Shalizi–Newman, the method behind
+// the Alstott et al. `powerlaw` toolkit the paper uses for Table I's α
+// column. Data are row sizes (positive integers).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hh {
+
+struct PowerLawFit {
+  double alpha = 0;     // fitted exponent (P(k) ∝ k^-alpha for k >= xmin)
+  std::int64_t xmin = 1;  // lower cutoff chosen by KS minimization
+  double ks = 0;        // KS distance of the fit at xmin
+  std::size_t n_tail = 0;  // number of samples >= xmin
+};
+
+/// Exact discrete MLE α for fixed xmin: maximizes
+///   L(α) = −α·Σ ln x_i − n·ln ζ(α, xmin)
+/// by golden-section search (the estimator the Alstott toolkit uses).
+double fit_alpha_fixed_xmin(std::span<const std::int64_t> data,
+                            std::int64_t xmin);
+
+/// KS distance between the empirical tail CDF (x >= xmin) and the fitted
+/// discrete power law.
+double ks_statistic(std::span<const std::int64_t> data, std::int64_t xmin,
+                    double alpha);
+
+/// Full fit: scan candidate xmin values, pick the one minimizing KS.
+/// `max_xmin_candidates` caps the scan for very heavy inputs (0 = no cap).
+PowerLawFit fit_power_law(std::span<const std::int64_t> data,
+                          std::size_t max_xmin_candidates = 64);
+
+}  // namespace hh

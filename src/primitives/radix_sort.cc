@@ -1,0 +1,61 @@
+#include "primitives/radix_sort.hpp"
+
+#include <array>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace hh {
+namespace {
+
+// One counting pass over byte `shift/8`. Returns false (and does nothing)
+// if every key has the same byte there, true after scattering otherwise.
+bool radix_pass(std::vector<std::uint64_t>& keys,
+                std::vector<std::uint32_t>& payload,
+                std::vector<std::uint64_t>& keys_tmp,
+                std::vector<std::uint32_t>& payload_tmp, int shift) {
+  std::array<std::size_t, 256> count{};
+  for (std::uint64_t k : keys) count[(k >> shift) & 0xff]++;
+  // Skip degenerate passes: all keys in one bucket.
+  for (std::size_t b = 0; b < 256; ++b) {
+    if (count[b] == keys.size()) return false;
+  }
+  std::array<std::size_t, 256> offset{};
+  std::size_t acc = 0;
+  for (std::size_t b = 0; b < 256; ++b) {
+    offset[b] = acc;
+    acc += count[b];
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const std::size_t dst = offset[(keys[i] >> shift) & 0xff]++;
+    keys_tmp[dst] = keys[i];
+    payload_tmp[dst] = payload[i];
+  }
+  keys.swap(keys_tmp);
+  payload.swap(payload_tmp);
+  return true;
+}
+
+}  // namespace
+
+void radix_sort_kv(std::vector<std::uint64_t>& keys,
+                   std::vector<std::uint32_t>& payload) {
+  HH_CHECK(keys.size() == payload.size());
+  if (keys.size() <= 1) return;
+  std::vector<std::uint64_t> keys_tmp(keys.size());
+  std::vector<std::uint32_t> payload_tmp(payload.size());
+  for (int pass = 0; pass < 8; ++pass) {
+    radix_pass(keys, payload, keys_tmp, payload_tmp, pass * 8);
+  }
+}
+
+std::vector<std::uint32_t> radix_sort_permutation(
+    std::span<const std::uint64_t> keys) {
+  std::vector<std::uint64_t> k(keys.begin(), keys.end());
+  std::vector<std::uint32_t> perm(keys.size());
+  std::iota(perm.begin(), perm.end(), 0u);
+  radix_sort_kv(k, perm);
+  return perm;
+}
+
+}  // namespace hh

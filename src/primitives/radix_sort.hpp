@@ -1,0 +1,38 @@
+// LSD radix sort on 64-bit keys with an index payload.
+//
+// Phase IV packs each output tuple's (row, col) into one 64-bit key
+// (row in the high 32 bits) so that sorting groups like-tuples and orders
+// rows, then columns — exactly the merge order Fig. 4 of the paper shows.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace hh {
+
+/// Pack (r, c) so that key order == lexicographic (r, c) order.
+inline std::uint64_t pack_rc(index_t r, index_t c) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(r)) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(c));
+}
+inline index_t unpack_row(std::uint64_t key) {
+  return static_cast<index_t>(key >> 32);
+}
+inline index_t unpack_col(std::uint64_t key) {
+  return static_cast<index_t>(key & 0xffffffffULL);
+}
+
+/// Stable LSD radix sort of `keys`; `payload[i]` follows keys[i].
+/// Byte passes are skipped when all keys share that byte (common for
+/// matrices much smaller than 2^32 rows).
+void radix_sort_kv(std::vector<std::uint64_t>& keys,
+                   std::vector<std::uint32_t>& payload);
+
+/// Returns the permutation that sorts `keys` (keys left untouched).
+std::vector<std::uint32_t> radix_sort_permutation(
+    std::span<const std::uint64_t> keys);
+
+}  // namespace hh

@@ -1,0 +1,69 @@
+#include "primitives/scan.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace hh {
+
+std::int64_t exclusive_scan(std::span<const std::int64_t> in,
+                            std::span<std::int64_t> out) {
+  HH_CHECK(in.size() == out.size());
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const std::int64_t x = in[i];
+    out[i] = acc;
+    acc += x;
+  }
+  return acc;
+}
+
+void inclusive_scan(std::span<const std::int64_t> in,
+                    std::span<std::int64_t> out) {
+  HH_CHECK(in.size() == out.size());
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    acc += in[i];
+    out[i] = acc;
+  }
+}
+
+std::int64_t parallel_exclusive_scan(std::span<const std::int64_t> in,
+                                     std::span<std::int64_t> out,
+                                     ThreadPool& pool) {
+  HH_CHECK(in.size() == out.size());
+  const auto n = static_cast<std::int64_t>(in.size());
+  if (n == 0) return 0;
+  const std::int64_t blocks =
+      std::min<std::int64_t>(n, static_cast<std::int64_t>(pool.size()) * 4);
+  const std::int64_t chunk = (n + blocks - 1) / blocks;
+  const std::int64_t nblocks = (n + chunk - 1) / chunk;
+
+  // Pass 1: per-block sums.
+  std::vector<std::int64_t> block_sum(static_cast<std::size_t>(nblocks), 0);
+  pool.parallel_for(nblocks, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t b = b0; b < b1; ++b) {
+      const std::int64_t lo = b * chunk, hi = std::min(n, lo + chunk);
+      std::int64_t s = 0;
+      for (std::int64_t i = lo; i < hi; ++i) s += in[i];
+      block_sum[b] = s;
+    }
+  });
+  // Scan block sums sequentially (nblocks is tiny).
+  std::int64_t total = exclusive_scan(block_sum, block_sum);
+  // Pass 2: local scan with block offset.
+  pool.parallel_for(nblocks, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t b = b0; b < b1; ++b) {
+      const std::int64_t lo = b * chunk, hi = std::min(n, lo + chunk);
+      std::int64_t acc = block_sum[b];
+      for (std::int64_t i = lo; i < hi; ++i) {
+        const std::int64_t x = in[i];
+        out[i] = acc;
+        acc += x;
+      }
+    }
+  });
+  return total;
+}
+
+}  // namespace hh

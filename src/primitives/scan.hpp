@@ -1,0 +1,28 @@
+// Prefix-sum primitives. The paper's Phase IV uses a mark-and-scan technique
+// to find "master indices" of like-tuples (§III-D); these scans are the
+// building block.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace hh {
+
+/// out[i] = sum of in[0..i). Returns the total. out may alias in.
+std::int64_t exclusive_scan(std::span<const std::int64_t> in,
+                            std::span<std::int64_t> out);
+
+/// out[i] = sum of in[0..i]. out may alias in.
+void inclusive_scan(std::span<const std::int64_t> in,
+                    std::span<std::int64_t> out);
+
+/// Two-pass parallel exclusive scan (block sums + block offset fixup).
+/// Equivalent to exclusive_scan; used when n is large.
+std::int64_t parallel_exclusive_scan(std::span<const std::int64_t> in,
+                                     std::span<std::int64_t> out,
+                                     ThreadPool& pool);
+
+}  // namespace hh

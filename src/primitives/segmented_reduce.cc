@@ -1,0 +1,55 @@
+#include "primitives/segmented_reduce.hpp"
+
+#include <algorithm>
+
+#include "primitives/scan.hpp"
+#include "util/check.hpp"
+
+namespace hh {
+
+std::vector<std::int64_t> mark_segment_heads(
+    std::span<const std::uint64_t> keys) {
+  std::vector<std::int64_t> mark(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    mark[i] = (i == 0 || keys[i] != keys[i - 1]) ? 1 : 0;
+  }
+  return mark;
+}
+
+SegmentedReduceResult segmented_reduce(std::span<const std::uint64_t> keys,
+                                       std::span<const value_t> values,
+                                       ThreadPool& pool) {
+  HH_CHECK(keys.size() == values.size());
+  SegmentedReduceResult out;
+  if (keys.empty()) return out;
+
+  // Step 1+2: mark heads and scan to get each run's dense output slot.
+  std::vector<std::int64_t> slot = mark_segment_heads(keys);
+  const std::int64_t runs = parallel_exclusive_scan(slot, slot, pool);
+  // After the exclusive scan, slot[i] at a run head equals the number of
+  // heads before i — i.e. the run's dense output index.
+  out.unique_keys.resize(static_cast<std::size_t>(runs));
+  out.sums.assign(static_cast<std::size_t>(runs), value_t{0});
+
+  // Step 3: one logical thread per master index. We parallelize over
+  // elements; each run is summed by the thread-block that owns its head.
+  // Runs spanning a block boundary are completed by walking forward from the
+  // head, which only the head's owner does — so no atomics are needed.
+  const auto n = static_cast<std::int64_t>(keys.size());
+  pool.parallel_for(n, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const bool is_head = (i == 0 || keys[i] != keys[i - 1]);
+      if (!is_head) continue;
+      const auto run = static_cast<std::size_t>(slot[i]);
+      out.unique_keys[run] = keys[i];
+      value_t acc = 0;
+      for (std::int64_t j = i; j < n && keys[j] == keys[i]; ++j) {
+        acc += values[j];
+      }
+      out.sums[run] = acc;
+    }
+  });
+  return out;
+}
+
+}  // namespace hh

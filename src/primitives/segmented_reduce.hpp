@@ -1,0 +1,32 @@
+// Mark–scan segmented reduction over sorted keys — the paper's Phase IV
+// like-tuple combining step (§III-D, Fig. 4):
+//   1. mark[i] = 1 iff keys[i] != keys[i-1]      ("marking the indices")
+//   2. scan(mark) assigns each run a dense id     ("scan the marked array")
+//   3. one logical thread per run ("master index") sums that run's values.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sparse/types.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hh {
+
+struct SegmentedReduceResult {
+  std::vector<std::uint64_t> unique_keys;  // one per run, in input order
+  std::vector<value_t> sums;               // reduced value per run
+};
+
+/// keys must be sorted (equal keys adjacent). values.size() == keys.size().
+SegmentedReduceResult segmented_reduce(std::span<const std::uint64_t> keys,
+                                       std::span<const value_t> values,
+                                       ThreadPool& pool);
+
+/// The mark array of step 1 (exposed for tests and for the GPU-side cost
+/// accounting, which charges one pass per primitive).
+std::vector<std::int64_t> mark_segment_heads(
+    std::span<const std::uint64_t> keys);
+
+}  // namespace hh

@@ -1,0 +1,51 @@
+#include "primitives/tuple_merge.hpp"
+
+#include "primitives/radix_sort.hpp"
+#include "primitives/segmented_reduce.hpp"
+#include "util/check.hpp"
+
+namespace hh {
+
+CsrMatrix merged_coo_to_csr(const CooMatrix& coo, MergeStats* stats) {
+  return merged_coo_to_csr(coo, ThreadPool::global(), stats);
+}
+
+CsrMatrix merged_coo_to_csr(const CooMatrix& coo, ThreadPool& pool,
+                            MergeStats* stats) {
+  HH_CHECK(coo.r.size() == coo.c.size() && coo.c.size() == coo.v.size());
+  const std::size_t n = coo.nnz();
+
+  // Pack (r, c) into sortable keys; payload points back at the values.
+  std::vector<std::uint64_t> keys(n);
+  std::vector<std::uint32_t> payload(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = pack_rc(coo.r[i], coo.c[i]);
+    payload[i] = static_cast<std::uint32_t>(i);
+  }
+  radix_sort_kv(keys, payload);
+
+  std::vector<value_t> sorted_vals(n);
+  for (std::size_t i = 0; i < n; ++i) sorted_vals[i] = coo.v[payload[i]];
+
+  // Mark + scan + per-master-index reduction (paper Fig. 4).
+  SegmentedReduceResult red = segmented_reduce(keys, sorted_vals, pool);
+
+  if (stats != nullptr) {
+    stats->tuples_in = static_cast<std::int64_t>(n);
+    stats->tuples_out = static_cast<std::int64_t>(red.unique_keys.size());
+  }
+
+  CsrMatrix out(coo.rows, coo.cols);
+  out.indices.resize(red.unique_keys.size());
+  out.values = std::move(red.sums);
+  for (std::size_t i = 0; i < red.unique_keys.size(); ++i) {
+    const index_t r = unpack_row(red.unique_keys[i]);
+    HH_CHECK(r >= 0 && r < coo.rows);
+    out.indptr[r + 1]++;
+    out.indices[i] = unpack_col(red.unique_keys[i]);
+  }
+  for (index_t r = 0; r < coo.rows; ++r) out.indptr[r + 1] += out.indptr[r];
+  return out;
+}
+
+}  // namespace hh

@@ -1,0 +1,22 @@
+// Phase IV of Algorithm HH-CPU: combine the ⟨r, c, v⟩ tuples produced by the
+// four partial products into the final CSR matrix (paper §III-D, Fig. 4).
+#pragma once
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hh {
+
+/// Cost-relevant statistics of a merge, consumed by the device models.
+struct MergeStats {
+  std::int64_t tuples_in = 0;   // tuples before combining
+  std::int64_t tuples_out = 0;  // distinct (r, c) pairs
+};
+
+/// Sort tuples by (r, c), sum like-tuples, build CSR. Deterministic.
+CsrMatrix merged_coo_to_csr(const CooMatrix& coo, MergeStats* stats = nullptr);
+CsrMatrix merged_coo_to_csr(const CooMatrix& coo, ThreadPool& pool,
+                            MergeStats* stats = nullptr);
+
+}  // namespace hh

@@ -1,0 +1,35 @@
+#include "sched/chunk.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace hh {
+
+void append_entries(std::vector<WorkEntry>& entries,
+                    std::span<const index_t> rows, std::int8_t tag) {
+  entries.reserve(entries.size() + rows.size());
+  for (const index_t r : rows) entries.push_back(WorkEntry{r, tag});
+}
+
+std::vector<WorkEntry> natural_order_entries(const CsrMatrix& m,
+                                             std::int8_t tag) {
+  std::vector<WorkEntry> entries(static_cast<std::size_t>(m.rows));
+  for (index_t r = 0; r < m.rows; ++r) entries[r] = WorkEntry{r, tag};
+  return entries;
+}
+
+std::vector<WorkEntry> sorted_by_density_entries(const CsrMatrix& m,
+                                                 std::int8_t tag) {
+  std::vector<index_t> order(static_cast<std::size_t>(m.rows));
+  std::iota(order.begin(), order.end(), index_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](index_t x, index_t y) {
+    return m.row_nnz(x) > m.row_nnz(y);
+  });
+  std::vector<WorkEntry> entries(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    entries[i] = WorkEntry{order[i], tag};
+  }
+  return entries;
+}
+
+}  // namespace hh

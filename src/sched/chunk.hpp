@@ -1,0 +1,27 @@
+// Helpers for building workqueue entry lists.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sched/workqueue.hpp"
+#include "sparse/csr.hpp"
+
+namespace hh {
+
+/// Tag every row in `rows` and append to `entries`.
+void append_entries(std::vector<WorkEntry>& entries,
+                    std::span<const index_t> rows, std::int8_t tag);
+
+/// Entries for all rows of `m` in natural order (Unsorted-Workqueue).
+std::vector<WorkEntry> natural_order_entries(const CsrMatrix& m,
+                                             std::int8_t tag = 0);
+
+/// Entries for all rows sorted by row nnz, densest first (Sorted-Workqueue;
+/// the CPU end gets the dense rows, the GPU end the sparse ones — the
+/// empirically best orientation, matching the paper's use of best-possible
+/// configurations for the comparison algorithms).
+std::vector<WorkEntry> sorted_by_density_entries(const CsrMatrix& m,
+                                                 std::int8_t tag = 0);
+
+}  // namespace hh

@@ -1,0 +1,78 @@
+#include "sched/static_partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "spgemm/spgemm.hpp"
+#include "util/check.hpp"
+
+namespace hh {
+
+StaticSplit balance_static_split(const CsrMatrix& a, const CsrMatrix& b,
+                                 const HeteroPlatform& platform) {
+  HH_CHECK_MSG(a.cols == b.rows, "incompatible shapes for product");
+  const index_t rows = a.rows;
+
+  // Structure-only per-row stats, accumulated incrementally while the split
+  // point sweeps 0 → rows. Suffix max_row_flops comes from a suffix scan.
+  std::vector<index_t> all_rows(static_cast<std::size_t>(rows));
+  std::iota(all_rows.begin(), all_rows.end(), index_t{0});
+  const ProductStats total = estimate_partial_product(a, b, all_rows, {}, true);
+
+  std::vector<std::int64_t> suffix_max_flops(
+      static_cast<std::size_t>(rows) + 1, 0);
+  std::vector<std::int64_t> row_flops_v(static_cast<std::size_t>(rows), 0);
+  {
+    for (index_t i = 0; i < rows; ++i) {
+      std::int64_t f = 0;
+      for (offset_t k = a.indptr[i]; k < a.indptr[i + 1]; ++k) {
+        f += b.row_nnz(a.indices[k]);
+      }
+      row_flops_v[i] = f;
+    }
+    for (index_t i = rows; i-- > 0;) {
+      suffix_max_flops[i] = std::max(suffix_max_flops[i + 1], row_flops_v[i]);
+    }
+  }
+
+  ProductStats prefix;  // rows [0, k)
+  StaticSplit best;
+  double best_cost = -1;
+  std::int64_t prefix_max_flops = 0;
+
+  const double ws_full = 12.0 * static_cast<double>(b.nnz());
+  for (index_t k = 0; k <= rows; ++k) {
+    ProductStats suffix = total;
+    suffix.rows -= prefix.rows;
+    suffix.a_nnz -= prefix.a_nnz;
+    suffix.flops -= prefix.flops;
+    suffix.tuples -= prefix.tuples;
+    suffix.warp_alu -= prefix.warp_alu;
+    suffix.flops_shared -= prefix.flops_shared;
+    suffix.flops_global -= prefix.flops_global;
+    suffix.b_read_bytes -= prefix.b_read_bytes;
+    suffix.max_row_flops = suffix_max_flops[k];
+
+    const double cpu_t = platform.cpu().kernel_time(prefix, ws_full, true);
+    const double gpu_t = platform.gpu().kernel_time(suffix);
+    const double cost = std::max(cpu_t, gpu_t);
+    if (best_cost < 0 || cost < best_cost) {
+      best_cost = cost;
+      best.split_row = k;
+      best.est_cpu_time = cpu_t;
+      best.est_gpu_time = gpu_t;
+    }
+    if (k < rows) {
+      // Advance prefix by row k.
+      std::vector<index_t> one{k};
+      const ProductStats s = estimate_partial_product(a, b, one, {}, true);
+      prefix.accumulate(s);
+      prefix_max_flops = std::max(prefix_max_flops, row_flops_v[k]);
+      prefix.max_row_flops = prefix_max_flops;
+    }
+  }
+  return best;
+}
+
+}  // namespace hh

@@ -1,0 +1,22 @@
+// Format conversions and structural transforms.
+#pragma once
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+
+namespace hh {
+
+/// COO → CSR. Duplicate (r, c) tuples are summed; columns end up sorted.
+CsrMatrix coo_to_csr(const CooMatrix& coo);
+
+/// CSR → COO (tuples emitted in row-major order).
+CooMatrix csr_to_coo(const CsrMatrix& csr);
+
+/// Transpose (also CSR → CSC reinterpretation).
+CsrMatrix transpose(const CsrMatrix& m);
+
+/// Keep only rows where keep[r] != 0; other rows become empty. Row numbering
+/// is preserved (matrices are never physically split — paper §IV-A).
+CsrMatrix mask_rows(const CsrMatrix& m, const std::vector<std::uint8_t>& keep);
+
+}  // namespace hh

@@ -1,0 +1,23 @@
+#include "sparse/coo.hpp"
+
+#include "util/check.hpp"
+
+namespace hh {
+
+void CooMatrix::append(const CooMatrix& other) {
+  HH_CHECK_MSG(rows == other.rows && cols == other.cols,
+               "appending COO of different shape");
+  r.insert(r.end(), other.r.begin(), other.r.end());
+  c.insert(c.end(), other.c.begin(), other.c.end());
+  v.insert(v.end(), other.v.begin(), other.v.end());
+}
+
+void CooMatrix::validate() const {
+  HH_CHECK(r.size() == c.size() && c.size() == v.size());
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    HH_CHECK_MSG(r[i] >= 0 && r[i] < rows, "COO row out of range at " << i);
+    HH_CHECK_MSG(c[i] >= 0 && c[i] < cols, "COO col out of range at " << i);
+  }
+}
+
+}  // namespace hh

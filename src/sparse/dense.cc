@@ -1,0 +1,34 @@
+#include "sparse/dense.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/prng.hpp"
+
+namespace hh {
+
+void DenseMatrix::validate() const {
+  HH_CHECK(rows >= 0 && cols >= 0);
+  HH_CHECK_MSG(data.size() == static_cast<std::size_t>(rows) *
+                                  static_cast<std::size_t>(cols),
+               "dense data size mismatch");
+}
+
+DenseMatrix random_dense(index_t rows, index_t cols, std::uint64_t seed) {
+  DenseMatrix m(rows, cols);
+  Xoshiro256 rng(seed);
+  for (auto& x : m.data) x = 0.5 + rng.uniform();
+  return m;
+}
+
+value_t max_abs_diff(const DenseMatrix& a, const DenseMatrix& b) {
+  HH_CHECK(a.rows == b.rows && a.cols == b.cols);
+  value_t d = 0;
+  for (std::size_t i = 0; i < a.data.size(); ++i) {
+    d = std::max(d, std::abs(a.data[i] - b.data[i]));
+  }
+  return d;
+}
+
+}  // namespace hh

@@ -1,0 +1,41 @@
+// Row-major dense matrix — the B operand of the csrmm extension (paper §VI:
+// multiplying a sparse scale-free A with a dense B).
+#pragma once
+
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace hh {
+
+struct DenseMatrix {
+  index_t rows = 0;
+  index_t cols = 0;
+  std::vector<value_t> data;  // row-major, rows*cols entries
+
+  DenseMatrix() = default;
+  DenseMatrix(index_t rows, index_t cols)
+      : rows(rows), cols(cols),
+        data(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+             value_t{0}) {}
+
+  value_t& at(index_t r, index_t c) {
+    return data[static_cast<std::size_t>(r) * cols + c];
+  }
+  value_t at(index_t r, index_t c) const {
+    return data[static_cast<std::size_t>(r) * cols + c];
+  }
+
+  std::size_t byte_size() const { return data.size() * sizeof(value_t); }
+
+  /// Throws CheckError on inconsistent dimensions.
+  void validate() const;
+};
+
+/// Dense matrix with entries uniform in [0.5, 1.5]; deterministic in seed.
+DenseMatrix random_dense(index_t rows, index_t cols, std::uint64_t seed);
+
+/// Max-norm distance (for tests).
+value_t max_abs_diff(const DenseMatrix& a, const DenseMatrix& b);
+
+}  // namespace hh

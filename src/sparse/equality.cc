@@ -1,0 +1,67 @@
+#include "sparse/equality.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace hh {
+namespace {
+
+void explain(std::string* why, const std::ostringstream& os) {
+  if (why != nullptr) *why = os.str();
+}
+
+}  // namespace
+
+CsrMatrix drop_small(const CsrMatrix& m, value_t drop_tol) {
+  CsrMatrix out(m.rows, m.cols);
+  out.indices.reserve(m.indices.size());
+  out.values.reserve(m.values.size());
+  for (index_t r = 0; r < m.rows; ++r) {
+    for (offset_t k = m.indptr[r]; k < m.indptr[r + 1]; ++k) {
+      if (std::abs(m.values[k]) > drop_tol) {
+        out.indices.push_back(m.indices[k]);
+        out.values.push_back(m.values[k]);
+      }
+    }
+    out.indptr[r + 1] = static_cast<offset_t>(out.indices.size());
+  }
+  return out;
+}
+
+bool approx_equal(const CsrMatrix& a, const CsrMatrix& b, value_t rel_tol,
+                  std::string* why) {
+  std::ostringstream os;
+  if (a.rows != b.rows || a.cols != b.cols) {
+    os << "shape mismatch: " << a.summary() << " vs " << b.summary();
+    explain(why, os);
+    return false;
+  }
+  for (index_t r = 0; r < a.rows; ++r) {
+    if (a.row_nnz(r) != b.row_nnz(r)) {
+      os << "row " << r << " nnz " << a.row_nnz(r) << " vs " << b.row_nnz(r);
+      explain(why, os);
+      return false;
+    }
+    const offset_t ab = a.indptr[r], bb = b.indptr[r];
+    for (offset_t k = 0; k < a.row_nnz(r); ++k) {
+      if (a.indices[ab + k] != b.indices[bb + k]) {
+        os << "row " << r << " col mismatch at slot " << k << ": "
+           << a.indices[ab + k] << " vs " << b.indices[bb + k];
+        explain(why, os);
+        return false;
+      }
+      const value_t x = a.values[ab + k], y = b.values[bb + k];
+      const value_t scale = std::max({value_t{1}, std::abs(x), std::abs(y)});
+      if (std::abs(x - y) > rel_tol * scale) {
+        os << "value mismatch at (" << r << ", " << a.indices[ab + k]
+           << "): " << x << " vs " << y;
+        explain(why, os);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace hh

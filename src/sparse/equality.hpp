@@ -1,0 +1,21 @@
+// Structural and numerical matrix comparison, used by every correctness test
+// to check algorithm outputs against the sequential reference.
+#pragma once
+
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace hh {
+
+/// Remove entries with |v| <= drop_tol (products can create exact zeros whose
+/// presence is representation-dependent).
+CsrMatrix drop_small(const CsrMatrix& m, value_t drop_tol);
+
+/// True iff same shape, same sparsity pattern and values within
+/// rel_tol * max(1, |a|, |b|) element-wise. Both inputs must be row-sorted.
+/// On mismatch, *why (if given) gets a human-readable explanation.
+bool approx_equal(const CsrMatrix& a, const CsrMatrix& b,
+                  value_t rel_tol = 1e-9, std::string* why = nullptr);
+
+}  // namespace hh

@@ -1,0 +1,100 @@
+#include "sparse/mm_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace hh {
+namespace {
+
+std::string lower(std::string s) {
+  for (char& ch : s) ch = static_cast<char>(std::tolower(ch));
+  return s;
+}
+
+}  // namespace
+
+CsrMatrix read_matrix_market(std::istream& in) {
+  std::string line;
+  HH_CHECK_MSG(std::getline(in, line), "empty MatrixMarket stream");
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  HH_CHECK_MSG(banner == "%%MatrixMarket", "missing MatrixMarket banner");
+  HH_CHECK_MSG(lower(object) == "matrix", "unsupported object " << object);
+  HH_CHECK_MSG(lower(format) == "coordinate",
+               "only coordinate format is supported");
+  field = lower(field);
+  symmetry = lower(symmetry);
+  const bool pattern = field == "pattern";
+  HH_CHECK_MSG(pattern || field == "real" || field == "integer",
+               "unsupported field " << field);
+  const bool symmetric = symmetry == "symmetric";
+  HH_CHECK_MSG(symmetric || symmetry == "general",
+               "unsupported symmetry " << symmetry);
+
+  // Skip comments, read size line.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream size_line(line);
+  long long rows = 0, cols = 0, entries = 0;
+  size_line >> rows >> cols >> entries;
+  HH_CHECK_MSG(rows > 0 && cols > 0 && entries >= 0,
+               "bad size line: " << line);
+
+  std::vector<index_t> tr, tc;
+  std::vector<value_t> tv;
+  tr.reserve(static_cast<std::size_t>(entries) * (symmetric ? 2 : 1));
+  tc.reserve(tr.capacity());
+  tv.reserve(tr.capacity());
+  for (long long i = 0; i < entries; ++i) {
+    HH_CHECK_MSG(std::getline(in, line), "truncated entry list at " << i);
+    std::istringstream es(line);
+    long long r = 0, c = 0;
+    double v = 1.0;
+    es >> r >> c;
+    if (!pattern) es >> v;
+    HH_CHECK_MSG(r >= 1 && r <= rows && c >= 1 && c <= cols,
+                 "entry out of range: " << line);
+    tr.push_back(static_cast<index_t>(r - 1));
+    tc.push_back(static_cast<index_t>(c - 1));
+    tv.push_back(v);
+    if (symmetric && r != c) {
+      tr.push_back(static_cast<index_t>(c - 1));
+      tc.push_back(static_cast<index_t>(r - 1));
+      tv.push_back(v);
+    }
+  }
+  return csr_from_triplets(static_cast<index_t>(rows),
+                           static_cast<index_t>(cols), tr, tc, tv);
+}
+
+CsrMatrix read_matrix_market_file(const std::string& path) {
+  std::ifstream f(path);
+  HH_CHECK_MSG(f.good(), "cannot open " << path);
+  return read_matrix_market(f);
+}
+
+void write_matrix_market(std::ostream& out, const CsrMatrix& m) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out.precision(17);  // round-trip exact doubles
+  out << m.rows << " " << m.cols << " " << m.nnz() << "\n";
+  for (index_t r = 0; r < m.rows; ++r) {
+    for (offset_t k = m.indptr[r]; k < m.indptr[r + 1]; ++k) {
+      out << (r + 1) << " " << (m.indices[k] + 1) << " " << m.values[k]
+          << "\n";
+    }
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const CsrMatrix& m) {
+  std::ofstream f(path);
+  HH_CHECK_MSG(f.good(), "cannot open " << path << " for writing");
+  write_matrix_market(f, m);
+}
+
+}  // namespace hh

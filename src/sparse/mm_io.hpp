@@ -1,0 +1,25 @@
+// MatrixMarket (.mtx) coordinate-format I/O.
+//
+// Lets real SuiteSparse/SNAP matrices (paper Table I) be dropped into the
+// benchmarks in place of the synthetic analogues: set HH_DATASET_DIR to a
+// directory containing <name>.mtx files.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace hh {
+
+/// Reads "matrix coordinate (real|integer|pattern) (general|symmetric)".
+/// Pattern entries get value 1.0; symmetric inputs are mirrored.
+/// Throws CheckError on malformed input.
+CsrMatrix read_matrix_market(std::istream& in);
+CsrMatrix read_matrix_market_file(const std::string& path);
+
+/// Writes "matrix coordinate real general" with 1-based indices.
+void write_matrix_market(std::ostream& out, const CsrMatrix& m);
+void write_matrix_market_file(const std::string& path, const CsrMatrix& m);
+
+}  // namespace hh

@@ -1,0 +1,24 @@
+#include "sparse/partition.hpp"
+
+namespace hh {
+
+RowPartition classify_rows(const CsrMatrix& m, offset_t threshold) {
+  RowPartition p;
+  p.threshold = threshold;
+  p.is_high.resize(static_cast<std::size_t>(m.rows));
+  for (index_t r = 0; r < m.rows; ++r) {
+    const offset_t k = m.row_nnz(r);
+    const bool high = k >= threshold;
+    p.is_high[r] = high ? 1 : 0;
+    if (high) {
+      p.high_rows.push_back(r);
+      p.high_nnz += k;
+    } else {
+      p.low_rows.push_back(r);
+      p.low_nnz += k;
+    }
+  }
+  return p;
+}
+
+}  // namespace hh

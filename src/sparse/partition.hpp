@@ -1,0 +1,32 @@
+// High/low density row classification — Phase I of Algorithm HH-CPU.
+//
+// Rows with nnz >= threshold are "high density" (part of A_H / B_H); the
+// rest are "low density" (A_L / B_L). Matrices are never physically split:
+// the Boolean flag array defines the two logical views (paper §III-A, §IV-A).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace hh {
+
+struct RowPartition {
+  offset_t threshold = 0;
+  std::vector<std::uint8_t> is_high;  // one flag per row
+  std::vector<index_t> high_rows;     // row ids with is_high == 1, ascending
+  std::vector<index_t> low_rows;      // complement, ascending
+  offset_t high_nnz = 0;              // total nnz in high rows
+  offset_t low_nnz = 0;
+
+  index_t high_count() const {
+    return static_cast<index_t>(high_rows.size());
+  }
+  index_t low_count() const { return static_cast<index_t>(low_rows.size()); }
+};
+
+/// Classify every row of `m` against `threshold` (nnz >= threshold → high).
+RowPartition classify_rows(const CsrMatrix& m, offset_t threshold);
+
+}  // namespace hh

@@ -1,0 +1,16 @@
+// Fundamental scalar types used across the library.
+//
+// Row/column indices are 32-bit (largest paper matrix, cit-Patents, has
+// 3.77 M rows); nonzero counts and CSR offsets are 64-bit because products
+// of sparse matrices can exceed 2^31 nonzeros.
+#pragma once
+
+#include <cstdint>
+
+namespace hh {
+
+using index_t = std::int32_t;   // row / column index
+using offset_t = std::int64_t;  // CSR offset / nonzero count
+using value_t = double;         // matrix element
+
+}  // namespace hh

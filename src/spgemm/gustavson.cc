@@ -1,0 +1,76 @@
+#include "spgemm/gustavson.hpp"
+
+#include <algorithm>
+
+#include "spgemm/symbolic.hpp"
+#include "util/check.hpp"
+
+namespace hh {
+namespace {
+
+// Numeric pass for rows [r0, r1): SPA accumulate, emit sorted columns at the
+// row's final offsets. indptr must already hold the exact row offsets.
+void numeric_rows(const CsrMatrix& a, const CsrMatrix& b, CsrMatrix& c,
+                  index_t r0, index_t r1) {
+  std::vector<value_t> acc(static_cast<std::size_t>(b.cols), value_t{0});
+  std::vector<index_t> marker(static_cast<std::size_t>(b.cols), -1);
+  std::vector<index_t> cols;
+  for (index_t i = r0; i < r1; ++i) {
+    cols.clear();
+    for (offset_t k = a.indptr[i]; k < a.indptr[i + 1]; ++k) {
+      const index_t j = a.indices[k];
+      const value_t av = a.values[k];
+      for (offset_t l = b.indptr[j]; l < b.indptr[j + 1]; ++l) {
+        const index_t col = b.indices[l];
+        if (marker[col] != i) {
+          marker[col] = i;
+          acc[col] = value_t{0};
+          cols.push_back(col);
+        }
+        acc[col] += av * b.values[l];
+      }
+    }
+    std::sort(cols.begin(), cols.end());
+    HH_DCHECK(static_cast<offset_t>(cols.size()) ==
+              c.indptr[i + 1] - c.indptr[i]);
+    offset_t dst = c.indptr[i];
+    for (const index_t col : cols) {
+      c.indices[dst] = col;
+      c.values[dst] = acc[col];
+      ++dst;
+    }
+  }
+}
+
+}  // namespace
+
+CsrMatrix gustavson_spgemm(const CsrMatrix& a, const CsrMatrix& b) {
+  HH_CHECK_MSG(a.cols == b.rows, "incompatible shapes for product");
+  CsrMatrix c(a.rows, b.cols);
+  const std::vector<offset_t> row_nnz = exact_row_nnz(a, b);
+  for (index_t i = 0; i < a.rows; ++i) {
+    c.indptr[i + 1] = c.indptr[i] + row_nnz[i];
+  }
+  c.indices.resize(static_cast<std::size_t>(c.nnz()));
+  c.values.resize(static_cast<std::size_t>(c.nnz()));
+  numeric_rows(a, b, c, 0, a.rows);
+  return c;
+}
+
+CsrMatrix gustavson_spgemm_parallel(const CsrMatrix& a, const CsrMatrix& b,
+                                    ThreadPool& pool) {
+  HH_CHECK_MSG(a.cols == b.rows, "incompatible shapes for product");
+  CsrMatrix c(a.rows, b.cols);
+  const std::vector<offset_t> row_nnz = exact_row_nnz(a, b);
+  for (index_t i = 0; i < a.rows; ++i) {
+    c.indptr[i + 1] = c.indptr[i] + row_nnz[i];
+  }
+  c.indices.resize(static_cast<std::size_t>(c.nnz()));
+  c.values.resize(static_cast<std::size_t>(c.nnz()));
+  pool.parallel_for(a.rows, [&](std::int64_t lo, std::int64_t hi) {
+    numeric_rows(a, b, c, static_cast<index_t>(lo), static_cast<index_t>(hi));
+  });
+  return c;
+}
+
+}  // namespace hh

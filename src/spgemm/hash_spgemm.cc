@@ -1,0 +1,129 @@
+#include "spgemm/hash_spgemm.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "spgemm/symbolic.hpp"
+#include "util/check.hpp"
+
+namespace hh {
+namespace {
+
+// Open-addressing table with linear probing; capacity is a power of two.
+class RowHashTable {
+ public:
+  void reset(offset_t upper_bound_nnz) {
+    std::size_t cap = 16;
+    while (cap < static_cast<std::size_t>(upper_bound_nnz) * 2) cap <<= 1;
+    if (cap > keys_.size()) {
+      keys_.assign(cap, -1);
+      vals_.resize(cap);
+    } else {
+      std::fill(keys_.begin(), keys_.begin() + static_cast<std::ptrdiff_t>(cap),
+                -1);
+    }
+    mask_ = cap - 1;
+    size_ = 0;
+  }
+
+  void add(index_t key, value_t v) {
+    std::size_t h = (static_cast<std::size_t>(key) * 0x9e3779b97f4a7c15ULL) &
+                    mask_;
+    for (;;) {
+      if (keys_[h] == key) {
+        vals_[h] += v;
+        return;
+      }
+      if (keys_[h] < 0) {
+        keys_[h] = key;
+        vals_[h] = v;
+        ++size_;
+        return;
+      }
+      h = (h + 1) & mask_;
+    }
+  }
+
+  /// Extract (key, value) pairs sorted by key.
+  void extract(std::vector<std::pair<index_t, value_t>>& out) const {
+    out.clear();
+    out.reserve(size_);
+    for (std::size_t h = 0; h <= mask_; ++h) {
+      if (keys_[h] >= 0) out.emplace_back(keys_[h], vals_[h]);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+  }
+
+ private:
+  std::vector<index_t> keys_;
+  std::vector<value_t> vals_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+void hash_rows(const CsrMatrix& a, const CsrMatrix& b,
+               const std::vector<offset_t>& flops, index_t r0, index_t r1,
+               std::vector<std::vector<std::pair<index_t, value_t>>>& rows) {
+  RowHashTable table;
+  for (index_t i = r0; i < r1; ++i) {
+    if (flops[i] == 0) {
+      rows[i].clear();
+      continue;
+    }
+    table.reset(flops[i]);
+    for (offset_t k = a.indptr[i]; k < a.indptr[i + 1]; ++k) {
+      const index_t j = a.indices[k];
+      const value_t av = a.values[k];
+      for (offset_t l = b.indptr[j]; l < b.indptr[j + 1]; ++l) {
+        table.add(b.indices[l], av * b.values[l]);
+      }
+    }
+    table.extract(rows[i]);
+  }
+}
+
+CsrMatrix assemble(const CsrMatrix& a, const CsrMatrix& b,
+                   std::vector<std::vector<std::pair<index_t, value_t>>>& rows) {
+  CsrMatrix c(a.rows, b.cols);
+  offset_t nnz = 0;
+  for (index_t i = 0; i < a.rows; ++i) {
+    nnz += static_cast<offset_t>(rows[i].size());
+    c.indptr[i + 1] = nnz;
+  }
+  c.indices.reserve(static_cast<std::size_t>(nnz));
+  c.values.reserve(static_cast<std::size_t>(nnz));
+  for (index_t i = 0; i < a.rows; ++i) {
+    for (const auto& [col, v] : rows[i]) {
+      c.indices.push_back(col);
+      c.values.push_back(v);
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+CsrMatrix hash_spgemm(const CsrMatrix& a, const CsrMatrix& b) {
+  HH_CHECK_MSG(a.cols == b.rows, "incompatible shapes for product");
+  const std::vector<offset_t> flops = row_flops(a, b);
+  std::vector<std::vector<std::pair<index_t, value_t>>> rows(
+      static_cast<std::size_t>(a.rows));
+  hash_rows(a, b, flops, 0, a.rows, rows);
+  return assemble(a, b, rows);
+}
+
+CsrMatrix hash_spgemm_parallel(const CsrMatrix& a, const CsrMatrix& b,
+                               ThreadPool& pool) {
+  HH_CHECK_MSG(a.cols == b.rows, "incompatible shapes for product");
+  const std::vector<offset_t> flops = row_flops(a, b);
+  std::vector<std::vector<std::pair<index_t, value_t>>> rows(
+      static_cast<std::size_t>(a.rows));
+  pool.parallel_for(a.rows, [&](std::int64_t lo, std::int64_t hi) {
+    hash_rows(a, b, flops, static_cast<index_t>(lo), static_cast<index_t>(hi),
+              rows);
+  });
+  return assemble(a, b, rows);
+}
+
+}  // namespace hh

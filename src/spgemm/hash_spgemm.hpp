@@ -1,0 +1,17 @@
+// Hash-accumulator SpGEMM: per output row, accumulate into an open-addressed
+// hash table sized to the row's flops upper bound, then sort the row.
+// Preferable to the SPA when B has many columns but rows of C are short —
+// the accumulator is O(row nnz), not O(cols). Used in the accumulator
+// ablation bench.
+#pragma once
+
+#include "sparse/csr.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hh {
+
+CsrMatrix hash_spgemm(const CsrMatrix& a, const CsrMatrix& b);
+CsrMatrix hash_spgemm_parallel(const CsrMatrix& a, const CsrMatrix& b,
+                               ThreadPool& pool);
+
+}  // namespace hh

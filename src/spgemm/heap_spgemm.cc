@@ -1,0 +1,103 @@
+#include "spgemm/heap_spgemm.hpp"
+
+#include <queue>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace hh {
+namespace {
+
+struct Cursor {
+  index_t col;    // current column of this stream
+  offset_t pos;   // position in B arrays
+  offset_t end;   // end of B row
+  value_t scale;  // A[i][j] multiplier
+};
+
+struct CursorGreater {
+  bool operator()(const Cursor& x, const Cursor& y) const {
+    return x.col > y.col;
+  }
+};
+
+void heap_rows(const CsrMatrix& a, const CsrMatrix& b, index_t r0, index_t r1,
+               std::vector<std::vector<std::pair<index_t, value_t>>>& rows) {
+  std::priority_queue<Cursor, std::vector<Cursor>, CursorGreater> heap;
+  for (index_t i = r0; i < r1; ++i) {
+    auto& out = rows[i];
+    out.clear();
+    for (offset_t k = a.indptr[i]; k < a.indptr[i + 1]; ++k) {
+      const index_t j = a.indices[k];
+      if (b.indptr[j] < b.indptr[j + 1]) {
+        heap.push(Cursor{b.indices[b.indptr[j]], b.indptr[j], b.indptr[j + 1],
+                         a.values[k]});
+      }
+    }
+    while (!heap.empty()) {
+      Cursor cur = heap.top();
+      heap.pop();
+      const value_t contrib = cur.scale * b.values[cur.pos];
+      if (!out.empty() && out.back().first == cur.col) {
+        out.back().second += contrib;
+      } else {
+        out.emplace_back(cur.col, contrib);
+      }
+      if (++cur.pos < cur.end) {
+        cur.col = b.indices[cur.pos];
+        heap.push(cur);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+CsrMatrix heap_spgemm(const CsrMatrix& a, const CsrMatrix& b) {
+  HH_CHECK_MSG(a.cols == b.rows, "incompatible shapes for product");
+  std::vector<std::vector<std::pair<index_t, value_t>>> rows(
+      static_cast<std::size_t>(a.rows));
+  heap_rows(a, b, 0, a.rows, rows);
+  CsrMatrix c(a.rows, b.cols);
+  offset_t nnz = 0;
+  for (index_t i = 0; i < a.rows; ++i) {
+    nnz += static_cast<offset_t>(rows[i].size());
+    c.indptr[i + 1] = nnz;
+  }
+  c.indices.reserve(static_cast<std::size_t>(nnz));
+  c.values.reserve(static_cast<std::size_t>(nnz));
+  for (index_t i = 0; i < a.rows; ++i) {
+    for (const auto& [col, v] : rows[i]) {
+      c.indices.push_back(col);
+      c.values.push_back(v);
+    }
+  }
+  return c;
+}
+
+CsrMatrix heap_spgemm_parallel(const CsrMatrix& a, const CsrMatrix& b,
+                               ThreadPool& pool) {
+  HH_CHECK_MSG(a.cols == b.rows, "incompatible shapes for product");
+  std::vector<std::vector<std::pair<index_t, value_t>>> rows(
+      static_cast<std::size_t>(a.rows));
+  pool.parallel_for(a.rows, [&](std::int64_t lo, std::int64_t hi) {
+    heap_rows(a, b, static_cast<index_t>(lo), static_cast<index_t>(hi), rows);
+  });
+  CsrMatrix c(a.rows, b.cols);
+  offset_t nnz = 0;
+  for (index_t i = 0; i < a.rows; ++i) {
+    nnz += static_cast<offset_t>(rows[i].size());
+    c.indptr[i + 1] = nnz;
+  }
+  c.indices.reserve(static_cast<std::size_t>(nnz));
+  c.values.reserve(static_cast<std::size_t>(nnz));
+  for (index_t i = 0; i < a.rows; ++i) {
+    for (const auto& [col, v] : rows[i]) {
+      c.indices.push_back(col);
+      c.values.push_back(v);
+    }
+  }
+  return c;
+}
+
+}  // namespace hh

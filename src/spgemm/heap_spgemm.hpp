@@ -1,0 +1,16 @@
+// Heap (k-way merge) SpGEMM: each output row is the merge of the |A(i,:)|
+// already-sorted B rows, driven by a binary min-heap. O(flops · log k) time
+// but O(k) extra space and naturally sorted output — the classic
+// low-memory alternative evaluated in the accumulator ablation.
+#pragma once
+
+#include "sparse/csr.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hh {
+
+CsrMatrix heap_spgemm(const CsrMatrix& a, const CsrMatrix& b);
+CsrMatrix heap_spgemm_parallel(const CsrMatrix& a, const CsrMatrix& b,
+                               ThreadPool& pool);
+
+}  // namespace hh

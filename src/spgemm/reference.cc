@@ -1,0 +1,36 @@
+#include "spgemm/reference.hpp"
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace hh {
+
+CsrMatrix reference_multiply_dense(const CsrMatrix& a, const CsrMatrix& b) {
+  HH_CHECK_MSG(a.cols == b.rows, "incompatible shapes for product");
+  CsrMatrix c(a.rows, b.cols);
+  std::vector<value_t> acc(static_cast<std::size_t>(b.cols));
+  std::vector<bool> touched(static_cast<std::size_t>(b.cols));
+  for (index_t i = 0; i < a.rows; ++i) {
+    std::fill(acc.begin(), acc.end(), value_t{0});
+    std::fill(touched.begin(), touched.end(), false);
+    for (offset_t k = a.indptr[i]; k < a.indptr[i + 1]; ++k) {
+      const index_t j = a.indices[k];
+      const value_t av = a.values[k];
+      for (offset_t l = b.indptr[j]; l < b.indptr[j + 1]; ++l) {
+        acc[b.indices[l]] += av * b.values[l];
+        touched[b.indices[l]] = true;
+      }
+    }
+    for (index_t col = 0; col < b.cols; ++col) {
+      if (touched[col]) {
+        c.indices.push_back(col);
+        c.values.push_back(acc[col]);
+      }
+    }
+    c.indptr[i + 1] = static_cast<offset_t>(c.indices.size());
+  }
+  return c;
+}
+
+}  // namespace hh

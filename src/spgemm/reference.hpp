@@ -1,0 +1,14 @@
+// Dense reference multiply — the correctness oracle for small matrices.
+#pragma once
+
+#include "sparse/csr.hpp"
+
+namespace hh {
+
+/// O(rows·cols) memory: only for test-sized matrices. Entries whose exact
+/// accumulated value is 0 are kept out of the result (matching what a sparse
+/// kernel that never touches them produces is the caller's job; compare via
+/// drop_small + approx_equal).
+CsrMatrix reference_multiply_dense(const CsrMatrix& a, const CsrMatrix& b);
+
+}  // namespace hh

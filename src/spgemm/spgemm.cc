@@ -1,0 +1,196 @@
+#include "spgemm/spgemm.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "spgemm/gustavson.hpp"
+#include "spgemm/hash_spgemm.hpp"
+#include "spgemm/heap_spgemm.hpp"
+#include "spgemm/row_column.hpp"
+#include "util/check.hpp"
+
+namespace hh {
+namespace {
+std::atomic<std::int64_t> g_shared_cap{kSharedAccumCap};
+}  // namespace
+
+std::int64_t shared_accum_cap() {
+  return g_shared_cap.load(std::memory_order_relaxed);
+}
+
+void set_shared_accum_cap(std::int64_t cap) {
+  HH_CHECK(cap >= 1);
+  g_shared_cap.store(cap, std::memory_order_relaxed);
+}
+
+std::string to_string(SpgemmKind kind) {
+  switch (kind) {
+    case SpgemmKind::kGustavson:
+      return "gustavson";
+    case SpgemmKind::kHash:
+      return "hash";
+    case SpgemmKind::kHeap:
+      return "heap";
+    case SpgemmKind::kRowColumn:
+      return "row-column";
+  }
+  return "unknown";
+}
+
+CsrMatrix multiply(const CsrMatrix& a, const CsrMatrix& b, SpgemmKind kind,
+                   ThreadPool& pool) {
+  switch (kind) {
+    case SpgemmKind::kGustavson:
+      return gustavson_spgemm_parallel(a, b, pool);
+    case SpgemmKind::kHash:
+      return hash_spgemm_parallel(a, b, pool);
+    case SpgemmKind::kHeap:
+      return heap_spgemm_parallel(a, b, pool);
+    case SpgemmKind::kRowColumn:
+      return row_column_spgemm(a, b);
+  }
+  HH_CHECK_MSG(false, "unreachable");
+  return {};
+}
+
+void ProductStats::accumulate(const ProductStats& o) {
+  rows += o.rows;
+  a_nnz += o.a_nnz;
+  flops += o.flops;
+  tuples += o.tuples;
+  max_row_flops = std::max(max_row_flops, o.max_row_flops);
+  warp_alu += o.warp_alu;
+  flops_shared += o.flops_shared;
+  flops_global += o.flops_global;
+  b_read_bytes += o.b_read_bytes;
+}
+
+namespace {
+
+// Per-block worker: SPA-accumulate the assigned a_rows slice, appending
+// tuples to a local COO and aggregating stats.
+void partial_rows(const CsrMatrix& a, const CsrMatrix& b,
+                  std::span<const index_t> a_rows,
+                  std::span<const std::uint8_t> b_mask, bool b_mask_value,
+                  std::size_t lo, std::size_t hi, CooMatrix& out,
+                  ProductStats& stats) {
+  std::vector<value_t> acc(static_cast<std::size_t>(b.cols), value_t{0});
+  std::vector<index_t> marker(static_cast<std::size_t>(b.cols), -1);
+  std::vector<index_t> cols;
+  for (std::size_t idx = lo; idx < hi; ++idx) {
+    const index_t i = a_rows[idx];
+    cols.clear();
+    std::int64_t row_flops = 0;
+    for (offset_t k = a.indptr[i]; k < a.indptr[i + 1]; ++k) {
+      const index_t j = a.indices[k];
+      if (!b_mask.empty() && (b_mask[j] != 0) != b_mask_value) continue;
+      ++stats.a_nnz;
+      const value_t av = a.values[k];
+      const offset_t blen = b.indptr[j + 1] - b.indptr[j];
+      row_flops += blen;
+      stats.warp_alu += (blen + 31) / 32;
+      stats.b_read_bytes += (blen * 12 + 31) / 32 * 32;
+      for (offset_t l = b.indptr[j]; l < b.indptr[j + 1]; ++l) {
+        const index_t col = b.indices[l];
+        if (marker[col] != i) {
+          marker[col] = i;
+          acc[col] = value_t{0};
+          cols.push_back(col);
+        }
+        acc[col] += av * b.values[l];
+      }
+    }
+    std::sort(cols.begin(), cols.end());
+    for (const index_t col : cols) out.push(i, col, acc[col]);
+
+    ++stats.rows;
+    stats.flops += row_flops;
+    stats.tuples += static_cast<std::int64_t>(cols.size());
+    stats.max_row_flops = std::max(stats.max_row_flops, row_flops);
+    if (static_cast<std::int64_t>(cols.size()) <= shared_accum_cap()) {
+      stats.flops_shared += row_flops;
+    } else {
+      stats.flops_global += row_flops;
+    }
+  }
+}
+
+}  // namespace
+
+CooMatrix partial_product_tuples(const CsrMatrix& a, const CsrMatrix& b,
+                                 std::span<const index_t> a_rows,
+                                 std::span<const std::uint8_t> b_mask,
+                                 bool b_mask_value, ThreadPool& pool,
+                                 ProductStats* stats) {
+  HH_CHECK_MSG(a.cols == b.rows, "incompatible shapes for product");
+  HH_CHECK(b_mask.empty() ||
+           b_mask.size() == static_cast<std::size_t>(b.rows));
+
+  const auto n = static_cast<std::int64_t>(a_rows.size());
+  const std::int64_t blocks =
+      std::max<std::int64_t>(1, std::min<std::int64_t>(
+                                    n, static_cast<std::int64_t>(pool.size()) *
+                                           4));
+  const std::int64_t chunk = n == 0 ? 1 : (n + blocks - 1) / blocks;
+  const std::int64_t nblocks = n == 0 ? 0 : (n + chunk - 1) / chunk;
+
+  std::vector<CooMatrix> block_out(static_cast<std::size_t>(nblocks),
+                                   CooMatrix(a.rows, b.cols));
+  std::vector<ProductStats> block_stats(static_cast<std::size_t>(nblocks));
+
+  pool.parallel_for(nblocks, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t blk = b0; blk < b1; ++blk) {
+      const auto lo = static_cast<std::size_t>(blk * chunk);
+      const auto hi = static_cast<std::size_t>(std::min(n, (blk + 1) * chunk));
+      partial_rows(a, b, a_rows, b_mask, b_mask_value, lo, hi,
+                   block_out[blk], block_stats[blk]);
+    }
+  });
+
+  // Concatenate in block order → deterministic output independent of the
+  // number of pool threads.
+  CooMatrix out(a.rows, b.cols);
+  std::size_t total = 0;
+  for (const auto& blk : block_out) total += blk.nnz();
+  out.reserve(total);
+  ProductStats agg;
+  for (std::int64_t blk = 0; blk < nblocks; ++blk) {
+    out.append(block_out[blk]);
+    agg.accumulate(block_stats[blk]);
+  }
+  if (stats != nullptr) *stats = agg;
+  return out;
+}
+
+ProductStats estimate_partial_product(const CsrMatrix& a, const CsrMatrix& b,
+                                      std::span<const index_t> a_rows,
+                                      std::span<const std::uint8_t> b_mask,
+                                      bool b_mask_value) {
+  HH_CHECK_MSG(a.cols == b.rows, "incompatible shapes for product");
+  ProductStats s;
+  for (const index_t i : a_rows) {
+    std::int64_t row_flops = 0;
+    for (offset_t k = a.indptr[i]; k < a.indptr[i + 1]; ++k) {
+      const index_t j = a.indices[k];
+      if (!b_mask.empty() && (b_mask[j] != 0) != b_mask_value) continue;
+      ++s.a_nnz;
+      const offset_t blen = b.indptr[j + 1] - b.indptr[j];
+      row_flops += blen;
+      s.warp_alu += (blen + 31) / 32;
+      s.b_read_bytes += (blen * 12 + 31) / 32 * 32;
+    }
+    ++s.rows;
+    s.flops += row_flops;
+    s.tuples += row_flops;  // upper bound: no cancellation information
+    s.max_row_flops = std::max(s.max_row_flops, row_flops);
+    if (row_flops <= shared_accum_cap()) {
+      s.flops_shared += row_flops;
+    } else {
+      s.flops_global += row_flops;
+    }
+  }
+  return s;
+}
+
+}  // namespace hh

@@ -1,0 +1,57 @@
+#include "spgemm/symbolic.hpp"
+
+#include "util/check.hpp"
+
+namespace hh {
+
+std::vector<offset_t> row_flops(const CsrMatrix& a, const CsrMatrix& b) {
+  return row_flops_masked(a, b, {}, true);
+}
+
+std::vector<offset_t> row_flops_masked(const CsrMatrix& a, const CsrMatrix& b,
+                                       std::span<const std::uint8_t> b_mask,
+                                       bool mask_value) {
+  HH_CHECK_MSG(a.cols == b.rows, "incompatible shapes for product");
+  HH_CHECK(b_mask.empty() ||
+           b_mask.size() == static_cast<std::size_t>(b.rows));
+  std::vector<offset_t> flops(static_cast<std::size_t>(a.rows), 0);
+  for (index_t i = 0; i < a.rows; ++i) {
+    offset_t f = 0;
+    for (offset_t k = a.indptr[i]; k < a.indptr[i + 1]; ++k) {
+      const index_t j = a.indices[k];
+      if (!b_mask.empty() && (b_mask[j] != 0) != mask_value) continue;
+      f += b.row_nnz(j);
+    }
+    flops[i] = f;
+  }
+  return flops;
+}
+
+offset_t total_flops(const CsrMatrix& a, const CsrMatrix& b) {
+  offset_t total = 0;
+  for (const offset_t f : row_flops(a, b)) total += f;
+  return total;
+}
+
+std::vector<offset_t> exact_row_nnz(const CsrMatrix& a, const CsrMatrix& b) {
+  HH_CHECK_MSG(a.cols == b.rows, "incompatible shapes for product");
+  std::vector<offset_t> out(static_cast<std::size_t>(a.rows), 0);
+  std::vector<index_t> marker(static_cast<std::size_t>(b.cols), -1);
+  for (index_t i = 0; i < a.rows; ++i) {
+    offset_t count = 0;
+    for (offset_t k = a.indptr[i]; k < a.indptr[i + 1]; ++k) {
+      const index_t j = a.indices[k];
+      for (offset_t l = b.indptr[j]; l < b.indptr[j + 1]; ++l) {
+        const index_t c = b.indices[l];
+        if (marker[c] != i) {
+          marker[c] = i;
+          ++count;
+        }
+      }
+    }
+    out[i] = count;
+  }
+  return out;
+}
+
+}  // namespace hh

@@ -1,0 +1,50 @@
+// Lightweight runtime-checked assertions used across the library.
+//
+// HH_CHECK is always on (it guards data-structure invariants whose violation
+// would otherwise corrupt results silently); HH_DCHECK compiles out in
+// release builds and is used on hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hh {
+
+/// Error thrown when a checked invariant fails.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace hh
+
+#define HH_CHECK(expr)                                                  \
+  do {                                                                  \
+    if (!(expr)) ::hh::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define HH_CHECK_MSG(expr, msg)                                       \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream hh_os_;                                      \
+      hh_os_ << msg;                                                  \
+      ::hh::detail::check_failed(#expr, __FILE__, __LINE__, hh_os_.str()); \
+    }                                                                 \
+  } while (0)
+
+#ifdef NDEBUG
+#define HH_DCHECK(expr) ((void)0)
+#else
+#define HH_DCHECK(expr) HH_CHECK(expr)
+#endif

@@ -1,0 +1,42 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace hh {
+namespace {
+
+std::atomic<int> g_level{-1};  // -1 = uninitialized, read env on first use
+std::mutex g_mutex;
+
+int resolve_level() {
+  int level = g_level.load(std::memory_order_relaxed);
+  if (level >= 0) return level;
+  level = 1;
+  if (const char* env = std::getenv("HH_LOG_LEVEL")) {
+    level = std::atoi(env);
+    if (level < 0) level = 0;
+    if (level > 2) level = 2;
+  }
+  g_level.store(level, std::memory_order_relaxed);
+  return level;
+}
+
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(resolve_level()); }
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void log_message(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) > resolve_level()) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[hh%s] %s\n",
+               level == LogLevel::kDebug ? ":debug" : "", msg.c_str());
+}
+
+}  // namespace hh

@@ -1,0 +1,36 @@
+// Minimal leveled logger. Controlled by HH_LOG_LEVEL env var
+// (0 = silent, 1 = info [default], 2 = debug).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace hh {
+
+enum class LogLevel : int { kSilent = 0, kInfo = 1, kDebug = 2 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace hh
+
+#define HH_LOG_INFO ::hh::detail::LogLine(::hh::LogLevel::kInfo)
+#define HH_LOG_DEBUG ::hh::detail::LogLine(::hh::LogLevel::kDebug)

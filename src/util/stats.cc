@@ -1,0 +1,69 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace hh {
+
+double mean(std::span<const double> xs) {
+  HH_CHECK(!xs.empty());
+  double s = 0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double geomean(std::span<const double> xs) {
+  HH_CHECK(!xs.empty());
+  double s = 0;
+  for (double x : xs) {
+    HH_CHECK_MSG(x > 0, "geomean requires positive values");
+    s += std::log(x);
+  }
+  return std::exp(s / static_cast<double>(xs.size()));
+}
+
+double median(std::vector<double> xs) {
+  HH_CHECK(!xs.empty());
+  const std::size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid),
+                   xs.end());
+  double hi = xs[mid];
+  if (xs.size() % 2 == 1) return hi;
+  double lo = *std::max_element(xs.begin(),
+                                xs.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+double stddev(std::span<const double> xs) {
+  HH_CHECK(xs.size() >= 2);
+  const double m = mean(xs);
+  double acc = 0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double min_of(std::span<const double> xs) {
+  HH_CHECK(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  HH_CHECK(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  s.mean = mean(xs);
+  s.median = median(std::vector<double>(xs.begin(), xs.end()));
+  s.min = min_of(xs);
+  s.max = max_of(xs);
+  s.stddev = xs.size() >= 2 ? stddev(xs) : 0.0;
+  return s;
+}
+
+}  // namespace hh

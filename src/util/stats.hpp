@@ -1,0 +1,25 @@
+// Small descriptive-statistics helpers used by the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hh {
+
+double mean(std::span<const double> xs);
+double geomean(std::span<const double> xs);  // xs must be positive
+double median(std::vector<double> xs);       // by value: needs to sort
+double stddev(std::span<const double> xs);   // sample standard deviation
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+
+/// Summary of a sample, convenient for printing benchmark tables.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0, median = 0, stddev = 0, min = 0, max = 0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+}  // namespace hh

@@ -1,0 +1,54 @@
+// Fixed-size thread pool with a blocked-range parallel_for.
+//
+// Host kernels (the "real" numeric computation) run through this pool; the
+// simulated devices charge time from their own cost models independently of
+// how many host threads actually execute.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace hh {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; wait_idle() blocks until all enqueued tasks finish.
+  void submit(std::function<void()> task);
+  void wait_idle();
+
+  /// Run fn(begin, end) over [0, n) split into roughly size()*4 blocks and
+  /// block until done. Exceptions from tasks are rethrown (first one wins).
+  void parallel_for(std::int64_t n,
+                    const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+  /// Process-wide default pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace hh

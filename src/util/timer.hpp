@@ -1,0 +1,29 @@
+// Wall-clock timer for host-side microbenchmarks.
+//
+// Note: the experiment harness reports *simulated* device time (see
+// src/device/); WallTimer is only used for real host-kernel measurements.
+#pragma once
+
+#include <chrono>
+
+namespace hh {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hh

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "sparse/convert.hpp"
+#include "sparse/equality.hpp"
+#include "test_util.hpp"
+#include "util/check.hpp"
+
+namespace hh {
+namespace {
+
+TEST(Coo, PushAndValidate) {
+  CooMatrix c(3, 3);
+  c.push(0, 1, 2.0);
+  c.push(2, 2, 3.0);
+  c.validate();
+  EXPECT_EQ(c.nnz(), 2u);
+}
+
+TEST(Coo, ValidateCatchesOutOfRange) {
+  CooMatrix c(2, 2);
+  c.push(0, 5, 1.0);
+  EXPECT_THROW(c.validate(), CheckError);
+}
+
+TEST(Coo, AppendConcatenates) {
+  CooMatrix a(2, 2), b(2, 2);
+  a.push(0, 0, 1.0);
+  b.push(1, 1, 2.0);
+  a.append(b);
+  EXPECT_EQ(a.nnz(), 2u);
+}
+
+TEST(Coo, AppendRejectsShapeMismatch) {
+  CooMatrix a(2, 2), b(3, 2);
+  EXPECT_THROW(a.append(b), CheckError);
+}
+
+TEST(Convert, CsrCooRoundTrip) {
+  const CsrMatrix m = test::random_csr(20, 15, 0.2, 77);
+  const CsrMatrix back = coo_to_csr(csr_to_coo(m));
+  std::string why;
+  EXPECT_TRUE(approx_equal(m, back, 1e-12, &why)) << why;
+}
+
+TEST(Convert, CooToCsrSumsDuplicates) {
+  CooMatrix c(2, 2);
+  c.push(0, 1, 1.0);
+  c.push(0, 1, 2.5);
+  const CsrMatrix m = coo_to_csr(c);
+  EXPECT_EQ(m.nnz(), 1);
+  EXPECT_DOUBLE_EQ(m.values[0], 3.5);
+}
+
+TEST(Convert, TransposeTwiceIsIdentity) {
+  const CsrMatrix m = test::random_csr(12, 18, 0.3, 5);
+  const CsrMatrix tt = transpose(transpose(m));
+  std::string why;
+  EXPECT_TRUE(approx_equal(m, tt, 1e-12, &why)) << why;
+}
+
+TEST(Convert, TransposeMovesEntries) {
+  const std::vector<index_t> r{0, 1};
+  const std::vector<index_t> c{2, 0};
+  const std::vector<value_t> v{5.0, 7.0};
+  const CsrMatrix m = csr_from_triplets(2, 3, r, c, v);
+  const CsrMatrix t = transpose(m);
+  t.validate();
+  EXPECT_EQ(t.rows, 3);
+  EXPECT_EQ(t.cols, 2);
+  EXPECT_EQ(t.row_nnz(2), 1);
+  EXPECT_EQ(t.row_indices(2)[0], 0);
+  EXPECT_DOUBLE_EQ(t.row_values(2)[0], 5.0);
+}
+
+TEST(Convert, TransposeRowsSorted) {
+  const CsrMatrix m = test::random_csr(30, 30, 0.25, 11);
+  transpose(m).validate(true);
+}
+
+TEST(Convert, MaskRowsKeepsSelected) {
+  const CsrMatrix m = test::random_csr(5, 5, 0.5, 3);
+  const std::vector<std::uint8_t> keep{1, 0, 1, 0, 0};
+  const CsrMatrix masked = mask_rows(m, keep);
+  masked.validate();
+  EXPECT_EQ(masked.row_nnz(0), m.row_nnz(0));
+  EXPECT_EQ(masked.row_nnz(1), 0);
+  EXPECT_EQ(masked.row_nnz(2), m.row_nnz(2));
+  EXPECT_EQ(masked.row_nnz(3), 0);
+}
+
+TEST(Convert, MaskRowsRequiresMatchingSize) {
+  const CsrMatrix m = test::random_csr(5, 5, 0.5, 3);
+  const std::vector<std::uint8_t> keep{1, 0};
+  EXPECT_THROW(mask_rows(m, keep), CheckError);
+}
+
+}  // namespace
+}  // namespace hh

@@ -1,0 +1,125 @@
+#include "sparse/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace hh {
+namespace {
+
+TEST(Csr, EmptyMatrixIsValid) {
+  CsrMatrix m(4, 5);
+  m.validate();
+  EXPECT_EQ(m.nnz(), 0);
+  EXPECT_EQ(m.rows, 4);
+  EXPECT_EQ(m.cols, 5);
+}
+
+TEST(Csr, DefaultConstructedIsValid) {
+  CsrMatrix m;
+  m.validate();
+  EXPECT_EQ(m.nnz(), 0);
+}
+
+TEST(Csr, IdentityShape) {
+  const CsrMatrix i = csr_identity(5);
+  i.validate();
+  EXPECT_EQ(i.nnz(), 5);
+  for (index_t r = 0; r < 5; ++r) {
+    EXPECT_EQ(i.row_nnz(r), 1);
+    EXPECT_EQ(i.row_indices(r)[0], r);
+    EXPECT_DOUBLE_EQ(i.row_values(r)[0], 1.0);
+  }
+}
+
+TEST(Csr, FromTripletsSortsWithinRows) {
+  const std::vector<index_t> r{0, 0, 1, 1};
+  const std::vector<index_t> c{2, 0, 1, 0};
+  const std::vector<value_t> v{1, 2, 3, 4};
+  const CsrMatrix m = csr_from_triplets(2, 3, r, c, v);
+  m.validate();
+  EXPECT_EQ(m.nnz(), 4);
+  EXPECT_EQ(m.row_indices(0)[0], 0);
+  EXPECT_EQ(m.row_indices(0)[1], 2);
+  EXPECT_DOUBLE_EQ(m.row_values(0)[0], 2.0);
+  EXPECT_DOUBLE_EQ(m.row_values(0)[1], 1.0);
+}
+
+TEST(Csr, FromTripletsSumsDuplicates) {
+  const std::vector<index_t> r{0, 0, 0};
+  const std::vector<index_t> c{1, 1, 1};
+  const std::vector<value_t> v{1, 2, 3};
+  const CsrMatrix m = csr_from_triplets(1, 2, r, c, v);
+  EXPECT_EQ(m.nnz(), 1);
+  EXPECT_DOUBLE_EQ(m.values[0], 6.0);
+}
+
+TEST(Csr, FromTripletsRejectsOutOfRange) {
+  const std::vector<index_t> r{0};
+  const std::vector<index_t> c{5};
+  const std::vector<value_t> v{1};
+  EXPECT_THROW(csr_from_triplets(1, 3, r, c, v), CheckError);
+}
+
+TEST(Csr, ValidateCatchesBadIndptr) {
+  CsrMatrix m(2, 2);
+  m.indptr = {0, 2, 1};
+  m.indices = {0, 1};
+  m.values = {1, 2};
+  EXPECT_THROW(m.validate(), CheckError);
+}
+
+TEST(Csr, ValidateCatchesColumnOutOfRange) {
+  CsrMatrix m(1, 2);
+  m.indptr = {0, 1};
+  m.indices = {5};
+  m.values = {1};
+  EXPECT_THROW(m.validate(), CheckError);
+}
+
+TEST(Csr, ValidateCatchesUnsortedRow) {
+  CsrMatrix m(1, 3);
+  m.indptr = {0, 2};
+  m.indices = {2, 0};
+  m.values = {1, 2};
+  EXPECT_THROW(m.validate(true), CheckError);
+  m.validate(false);  // unsorted allowed when not required
+}
+
+TEST(Csr, SortRowsFixesOrder) {
+  CsrMatrix m(1, 3);
+  m.indptr = {0, 3};
+  m.indices = {2, 0, 1};
+  m.values = {30, 10, 20};
+  m.sort_rows();
+  m.validate(true);
+  EXPECT_EQ(m.indices[0], 0);
+  EXPECT_DOUBLE_EQ(m.values[0], 10.0);
+  EXPECT_EQ(m.indices[2], 2);
+  EXPECT_DOUBLE_EQ(m.values[2], 30.0);
+}
+
+TEST(Csr, RowSpansMatchNnz) {
+  const std::vector<index_t> r{0, 2, 2};
+  const std::vector<index_t> c{1, 0, 2};
+  const std::vector<value_t> v{1, 2, 3};
+  const CsrMatrix m = csr_from_triplets(3, 3, r, c, v);
+  EXPECT_EQ(m.row_nnz(0), 1);
+  EXPECT_EQ(m.row_nnz(1), 0);
+  EXPECT_EQ(m.row_nnz(2), 2);
+  EXPECT_EQ(m.row_indices(1).size(), 0u);
+}
+
+TEST(Csr, ByteSizeAccountsAllArrays) {
+  const CsrMatrix i = csr_identity(10);
+  EXPECT_EQ(i.byte_size(),
+            11 * sizeof(offset_t) + 10 * sizeof(index_t) + 10 * sizeof(value_t));
+}
+
+TEST(Csr, SummaryMentionsShapeAndNnz) {
+  const CsrMatrix i = csr_identity(3);
+  EXPECT_EQ(i.summary(), "3x3, nnz=3");
+}
+
+}  // namespace
+}  // namespace hh

@@ -1,0 +1,87 @@
+#include "core/csrmm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/powerlaw_gen.hpp"
+#include "test_util.hpp"
+#include "util/check.hpp"
+
+namespace hh {
+namespace {
+
+class CsrmmTest : public testing::Test {
+ protected:
+  CsrmmTest() : pool_(2) {}
+  HeteroPlatform plat_;
+  ThreadPool pool_;
+
+  void expect_correct(const CsrMatrix& a, const DenseMatrix& b,
+                      const CsrmmOptions& opt = {}) {
+    const CsrmmResult res = run_hh_csrmm(a, b, opt, plat_, pool_);
+    const DenseMatrix want = csrmm_reference(a, b);
+    EXPECT_LT(max_abs_diff(want, res.c), 1e-9);
+  }
+};
+
+TEST_F(CsrmmTest, CorrectOnRandom) {
+  const CsrMatrix a = test::random_csr(40, 30, 0.2, 601);
+  const DenseMatrix b = random_dense(30, 8, 602);
+  expect_correct(a, b);
+}
+
+TEST_F(CsrmmTest, CorrectOnScaleFree) {
+  PowerLawGenConfig cfg;
+  cfg.rows = 600;
+  cfg.alpha = 2.4;
+  cfg.target_nnz = 3000;
+  cfg.seed = 603;
+  const CsrMatrix a = generate_power_law_matrix(cfg);
+  const DenseMatrix b = random_dense(a.cols, 16, 604);
+  expect_correct(a, b);
+}
+
+TEST_F(CsrmmTest, CorrectWithExplicitThreshold) {
+  const CsrMatrix a = test::random_csr(50, 50, 0.2, 605);
+  const DenseMatrix b = random_dense(50, 4, 606);
+  for (const offset_t t : {offset_t{1}, offset_t{8}, offset_t{1000}}) {
+    CsrmmOptions opt;
+    opt.threshold = t;
+    expect_correct(a, b, opt);
+  }
+}
+
+TEST_F(CsrmmTest, EmptySparseMatrix) {
+  const CsrMatrix a(10, 10);
+  const DenseMatrix b = random_dense(10, 5, 607);
+  const CsrmmResult res = run_hh_csrmm(a, b, {}, plat_, pool_);
+  for (const value_t x : res.c.data) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST_F(CsrmmTest, ReportPopulated) {
+  PowerLawGenConfig cfg;
+  cfg.rows = 5000;  // large enough that a GPU share beats its launch cost
+  cfg.alpha = 2.3;
+  cfg.target_nnz = 50000;
+  cfg.seed = 608;
+  const CsrMatrix a = generate_power_law_matrix(cfg);
+  const DenseMatrix b = random_dense(a.cols, 32, 609);
+  CsrmmOptions opt;
+  opt.matrices_already_on_gpu = true;  // resident operands: both devices work
+  const CsrmmResult res = run_hh_csrmm(a, b, opt, plat_, pool_);
+  EXPECT_EQ(res.report.algorithm, "HH-CSRMM");
+  EXPECT_GT(res.report.total_s, 0);
+  EXPECT_GT(res.report.threshold_a, 0);
+  EXPECT_GT(res.report.flops, 0);
+  // Both sides get work on a scale-free instance.
+  EXPECT_GT(res.report.phase2_cpu_s, 0);
+  EXPECT_GT(res.report.phase2_gpu_s, 0);
+}
+
+TEST_F(CsrmmTest, IncompatibleShapesThrow) {
+  const CsrMatrix a(3, 4);
+  const DenseMatrix b(5, 2);
+  EXPECT_THROW(run_hh_csrmm(a, b, {}, plat_, pool_), CheckError);
+}
+
+}  // namespace
+}  // namespace hh

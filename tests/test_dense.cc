@@ -1,0 +1,53 @@
+#include "sparse/dense.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace hh {
+namespace {
+
+TEST(Dense, ConstructionZeroFilled) {
+  DenseMatrix m(3, 4);
+  m.validate();
+  EXPECT_EQ(m.data.size(), 12u);
+  for (const value_t x : m.data) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(Dense, AtIsRowMajor) {
+  DenseMatrix m(2, 3);
+  m.at(1, 2) = 7.5;
+  EXPECT_DOUBLE_EQ(m.data[5], 7.5);
+  const DenseMatrix& cm = m;
+  EXPECT_DOUBLE_EQ(cm.at(1, 2), 7.5);
+}
+
+TEST(Dense, ValidateCatchesCorruption) {
+  DenseMatrix m(2, 2);
+  m.data.pop_back();
+  EXPECT_THROW(m.validate(), CheckError);
+}
+
+TEST(Dense, RandomDeterministic) {
+  const DenseMatrix a = random_dense(5, 5, 9);
+  const DenseMatrix b = random_dense(5, 5, 9);
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 0.0);
+  const DenseMatrix c = random_dense(5, 5, 10);
+  EXPECT_GT(max_abs_diff(a, c), 0.0);
+}
+
+TEST(Dense, RandomInRange) {
+  const DenseMatrix a = random_dense(10, 10, 3);
+  for (const value_t x : a.data) {
+    EXPECT_GE(x, 0.5);
+    EXPECT_LT(x, 1.5);
+  }
+}
+
+TEST(Dense, MaxAbsDiffRequiresSameShape) {
+  const DenseMatrix a(2, 2), b(2, 3);
+  EXPECT_THROW(max_abs_diff(a, b), CheckError);
+}
+
+}  // namespace
+}  // namespace hh

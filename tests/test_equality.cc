@@ -1,0 +1,69 @@
+#include "sparse/equality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace hh {
+namespace {
+
+TEST(Equality, EqualMatricesCompareEqual) {
+  const CsrMatrix m = test::random_csr(10, 10, 0.3, 4);
+  EXPECT_TRUE(approx_equal(m, m));
+}
+
+TEST(Equality, DetectsShapeMismatch) {
+  const CsrMatrix a(2, 3), b(3, 2);
+  std::string why;
+  EXPECT_FALSE(approx_equal(a, b, 1e-9, &why));
+  EXPECT_NE(why.find("shape"), std::string::npos);
+}
+
+TEST(Equality, DetectsPatternMismatch) {
+  const std::vector<index_t> r{0};
+  const std::vector<value_t> v{1.0};
+  const std::vector<index_t> c1{0}, c2{1};
+  const CsrMatrix a = csr_from_triplets(1, 2, r, c1, v);
+  const CsrMatrix b = csr_from_triplets(1, 2, r, c2, v);
+  std::string why;
+  EXPECT_FALSE(approx_equal(a, b, 1e-9, &why));
+  EXPECT_NE(why.find("col"), std::string::npos);
+}
+
+TEST(Equality, DetectsValueMismatch) {
+  const std::vector<index_t> r{0}, c{0};
+  const CsrMatrix a = csr_from_triplets(1, 1, r, c, std::vector<value_t>{1.0});
+  const CsrMatrix b = csr_from_triplets(1, 1, r, c, std::vector<value_t>{1.1});
+  std::string why;
+  EXPECT_FALSE(approx_equal(a, b, 1e-9, &why));
+  EXPECT_NE(why.find("value"), std::string::npos);
+}
+
+TEST(Equality, ToleratesSmallRelativeError) {
+  const std::vector<index_t> r{0}, c{0};
+  const CsrMatrix a =
+      csr_from_triplets(1, 1, r, c, std::vector<value_t>{1.0});
+  const CsrMatrix b =
+      csr_from_triplets(1, 1, r, c, std::vector<value_t>{1.0 + 1e-12});
+  EXPECT_TRUE(approx_equal(a, b, 1e-9));
+}
+
+TEST(Equality, DropSmallRemovesTinyEntries) {
+  const std::vector<index_t> r{0, 0}, c{0, 1};
+  const std::vector<value_t> v{1e-15, 2.0};
+  const CsrMatrix m = csr_from_triplets(1, 2, r, c, v);
+  const CsrMatrix d = drop_small(m, 1e-12);
+  EXPECT_EQ(d.nnz(), 1);
+  EXPECT_DOUBLE_EQ(d.values[0], 2.0);
+}
+
+TEST(Equality, DropSmallKeepsShape) {
+  const CsrMatrix m = test::random_csr(7, 9, 0.2, 5);
+  const CsrMatrix d = drop_small(m, 0.0);
+  EXPECT_EQ(d.rows, m.rows);
+  EXPECT_EQ(d.cols, m.cols);
+  EXPECT_EQ(d.nnz(), m.nnz());
+}
+
+}  // namespace
+}  // namespace hh

@@ -1,0 +1,58 @@
+#include "spgemm/esc_spgemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/powerlaw_gen.hpp"
+#include "spgemm/gustavson.hpp"
+#include "test_util.hpp"
+#include "util/check.hpp"
+
+namespace hh {
+namespace {
+
+TEST(EscSpgemm, MatchesReferenceOnRandom) {
+  const CsrMatrix a = test::random_csr(25, 20, 0.25, 501);
+  const CsrMatrix b = test::random_csr(20, 22, 0.3, 502);
+  ThreadPool pool(2);
+  test::expect_matches_reference(a, b, esc_spgemm(a, b, pool));
+}
+
+TEST(EscSpgemm, MatchesGustavsonOnScaleFree) {
+  PowerLawGenConfig cfg;
+  cfg.rows = 800;
+  cfg.alpha = 2.4;
+  cfg.target_nnz = 4000;
+  cfg.seed = 503;
+  const CsrMatrix a = generate_power_law_matrix(cfg);
+  ThreadPool pool(2);
+  const CsrMatrix want = gustavson_spgemm(a, a);
+  const CsrMatrix got = esc_spgemm(a, a, pool);
+  std::string why;
+  EXPECT_TRUE(approx_equal(want, got, 1e-9, &why)) << why;
+}
+
+TEST(EscSpgemm, EmptyInputs) {
+  const CsrMatrix a(4, 4);
+  ThreadPool pool(2);
+  const CsrMatrix c = esc_spgemm(a, a, pool);
+  c.validate();
+  EXPECT_EQ(c.nnz(), 0);
+}
+
+TEST(EscSpgemm, DeterministicAcrossPools) {
+  const CsrMatrix a = test::random_csr(40, 40, 0.15, 504);
+  ThreadPool pool1(1), pool4(4);
+  const CsrMatrix x = esc_spgemm(a, a, pool1);
+  const CsrMatrix y = esc_spgemm(a, a, pool4);
+  EXPECT_EQ(x.indices, y.indices);
+  EXPECT_EQ(x.values, y.values);
+}
+
+TEST(EscSpgemm, IncompatibleShapesThrow) {
+  const CsrMatrix a(3, 4), b(5, 3);
+  ThreadPool pool(1);
+  EXPECT_THROW(esc_spgemm(a, b, pool), CheckError);
+}
+
+}  // namespace
+}  // namespace hh

@@ -1,0 +1,158 @@
+#include "core/hh_cpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/datasets.hpp"
+#include "gen/powerlaw_gen.hpp"
+#include "sparse/convert.hpp"
+#include "spgemm/gustavson.hpp"
+#include "test_util.hpp"
+#include "util/check.hpp"
+
+namespace hh {
+namespace {
+
+class HhCpuTest : public testing::Test {
+ protected:
+  HhCpuTest() : pool_(2) {}
+  HeteroPlatform plat_;
+  ThreadPool pool_;
+
+  void expect_correct(const CsrMatrix& a, const CsrMatrix& b,
+                      const HhCpuOptions& opt = {}) {
+    const RunResult res = run_hh_cpu(a, b, opt, plat_, pool_);
+    const CsrMatrix want = gustavson_spgemm(a, b);
+    std::string why;
+    EXPECT_TRUE(approx_equal(want, res.c, 1e-9, &why)) << why;
+    EXPECT_EQ(res.report.output_nnz, res.c.nnz());
+  }
+};
+
+TEST_F(HhCpuTest, CorrectOnRandomSquare) {
+  const CsrMatrix a = test::random_csr(80, 80, 0.08, 201);
+  expect_correct(a, a);
+}
+
+TEST_F(HhCpuTest, CorrectOnRectangularChain) {
+  const CsrMatrix a = test::random_csr(60, 40, 0.1, 202);
+  const CsrMatrix b = test::random_csr(40, 70, 0.1, 203);
+  expect_correct(a, b);
+}
+
+TEST_F(HhCpuTest, CorrectOnScaleFreeSelfProduct) {
+  PowerLawGenConfig cfg;
+  cfg.rows = 1500;
+  cfg.alpha = 2.3;
+  cfg.target_nnz = 7000;
+  cfg.seed = 204;
+  const CsrMatrix a = generate_power_law_matrix(cfg);
+  expect_correct(a, a);
+}
+
+TEST_F(HhCpuTest, CorrectOnTwoDifferentScaleFreeMatrices) {
+  PowerLawGenConfig cfg;
+  cfg.rows = 800;
+  cfg.alpha = 3.0;
+  cfg.target_nnz = 4000;
+  cfg.seed = 205;
+  const CsrMatrix a = generate_power_law_matrix(cfg);
+  cfg.seed = 206;
+  const CsrMatrix b = generate_power_law_matrix(cfg);
+  expect_correct(a, b);
+}
+
+TEST_F(HhCpuTest, CorrectWithExplicitThresholds) {
+  const CsrMatrix a = test::random_csr(100, 100, 0.1, 207);
+  for (const offset_t t : {offset_t{1}, offset_t{5}, offset_t{10000}}) {
+    HhCpuOptions opt;
+    opt.threshold_a = t;
+    opt.threshold_b = t;
+    expect_correct(a, a, opt);
+  }
+}
+
+TEST_F(HhCpuTest, IdentityAndEmpty) {
+  expect_correct(csr_identity(30), csr_identity(30));
+  const CsrMatrix empty(20, 20);
+  const RunResult res = run_hh_cpu(empty, empty, {}, plat_, pool_);
+  EXPECT_EQ(res.c.nnz(), 0);
+}
+
+TEST_F(HhCpuTest, MatrixWithEmptyRows) {
+  CsrMatrix a = test::random_csr(50, 50, 0.1, 208);
+  // Blank out a band of rows.
+  std::vector<std::uint8_t> keep(50, 1);
+  for (index_t r = 10; r < 20; ++r) keep[r] = 0;
+  const CsrMatrix b = mask_rows(a, keep);
+  expect_correct(b, b);
+}
+
+TEST_F(HhCpuTest, ReportPhasesAreConsistent) {
+  const CsrMatrix a = make_dataset(dataset_spec("wiki-Vote"), 0.08);
+  const RunResult res = run_hh_cpu(a, a, {}, plat_, pool_);
+  const RunReport& r = res.report;
+  EXPECT_EQ(r.algorithm, "HH-CPU");
+  EXPECT_GT(r.total_s, 0);
+  EXPECT_GE(r.phase1_s, 0);
+  EXPECT_GE(r.phase2_s, std::max(r.phase2_cpu_s, r.phase2_gpu_s) - 1e-15);
+  EXPECT_GE(r.phase3_s, std::max(r.phase3_cpu_s, r.phase3_gpu_s) - 1e-15);
+  EXPECT_GT(r.threshold_a, 0);
+  EXPECT_GT(r.flops, 0);
+  // Totals cover at least the critical path pieces.
+  EXPECT_GE(r.total_s, r.phase1_s + r.phase4_s);
+  EXPECT_EQ(r.merge.tuples_out, r.output_nnz);
+}
+
+TEST_F(HhCpuTest, ThresholdZeroMeansAutoPick) {
+  const CsrMatrix a = make_dataset(dataset_spec("wiki-Vote"), 0.08);
+  HhCpuOptions opt;  // thresholds 0
+  const RunResult res = run_hh_cpu(a, a, opt, plat_, pool_);
+  EXPECT_GT(res.report.threshold_a, 0);
+  EXPECT_GT(res.report.threshold_b, 0);
+}
+
+TEST_F(HhCpuTest, DegeneratePartitionSkipsPhase3) {
+  const CsrMatrix a = test::random_csr(60, 60, 0.1, 209);
+  HhCpuOptions opt;
+  opt.threshold_a = 100000;  // everything low
+  opt.threshold_b = 100000;
+  const RunResult res = run_hh_cpu(a, a, opt, plat_, pool_);
+  EXPECT_EQ(res.report.queue_cpu_units + res.report.queue_gpu_units, 0);
+  EXPECT_DOUBLE_EQ(res.report.phase2_cpu_s, 0.0);
+  const CsrMatrix want = gustavson_spgemm(a, a);
+  std::string why;
+  EXPECT_TRUE(approx_equal(want, res.c, 1e-9, &why)) << why;
+}
+
+TEST_F(HhCpuTest, SelfProductTransfersInputOnce) {
+  const CsrMatrix a = test::random_csr(80, 80, 0.1, 210);
+  const CsrMatrix b = a;  // distinct object, same content
+  const RunResult self = run_hh_cpu(a, a, {}, plat_, pool_);
+  const RunResult pair = run_hh_cpu(a, b, {}, plat_, pool_);
+  EXPECT_LT(self.report.transfer_in_s, pair.report.transfer_in_s);
+}
+
+TEST_F(HhCpuTest, AlreadyOnGpuSkipsTransfer) {
+  const CsrMatrix a = test::random_csr(80, 80, 0.1, 211);
+  HhCpuOptions opt;
+  opt.matrices_already_on_gpu = true;
+  const RunResult res = run_hh_cpu(a, a, opt, plat_, pool_);
+  EXPECT_DOUBLE_EQ(res.report.transfer_in_s, 0.0);
+}
+
+TEST_F(HhCpuTest, DeterministicOutput) {
+  const CsrMatrix a = make_dataset(dataset_spec("ca-CondMat"), 0.05);
+  const RunResult x = run_hh_cpu(a, a, {}, plat_, pool_);
+  const RunResult y = run_hh_cpu(a, a, {}, plat_, pool_);
+  EXPECT_EQ(x.c.indices, y.c.indices);
+  EXPECT_EQ(x.c.values, y.c.values);
+  EXPECT_DOUBLE_EQ(x.report.total_s, y.report.total_s);
+}
+
+TEST_F(HhCpuTest, IncompatibleShapesThrow) {
+  const CsrMatrix a(3, 4), b(5, 3);
+  EXPECT_THROW(run_hh_cpu(a, b, {}, plat_, pool_), CheckError);
+}
+
+}  // namespace
+}  // namespace hh

@@ -1,0 +1,99 @@
+#include "sparse/mm_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sparse/equality.hpp"
+#include "test_util.hpp"
+#include "util/check.hpp"
+
+namespace hh {
+namespace {
+
+TEST(MmIo, WriteReadRoundTrip) {
+  const CsrMatrix m = test::random_csr(10, 8, 0.3, 21);
+  std::stringstream ss;
+  write_matrix_market(ss, m);
+  const CsrMatrix back = read_matrix_market(ss);
+  std::string why;
+  EXPECT_TRUE(approx_equal(m, back, 1e-9, &why)) << why;
+}
+
+TEST(MmIo, ReadsPatternAsOnes) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 1\n"
+      "2 2\n");
+  const CsrMatrix m = read_matrix_market(ss);
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_DOUBLE_EQ(m.values[0], 1.0);
+}
+
+TEST(MmIo, MirrorsSymmetric) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 2\n"
+      "2 1 5.0\n"
+      "3 3 7.0\n");
+  const CsrMatrix m = read_matrix_market(ss);
+  EXPECT_EQ(m.nnz(), 3);  // (1,0), (0,1), (2,2)
+  EXPECT_EQ(m.row_nnz(0), 1);
+  EXPECT_EQ(m.row_indices(0)[0], 1);
+  EXPECT_DOUBLE_EQ(m.row_values(0)[0], 5.0);
+}
+
+TEST(MmIo, SkipsComments) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "% another\n"
+      "1 1 1\n"
+      "1 1 4.5\n");
+  const CsrMatrix m = read_matrix_market(ss);
+  EXPECT_EQ(m.nnz(), 1);
+  EXPECT_DOUBLE_EQ(m.values[0], 4.5);
+}
+
+TEST(MmIo, RejectsMissingBanner) {
+  std::stringstream ss("1 1 1\n1 1 4.5\n");
+  EXPECT_THROW(read_matrix_market(ss), CheckError);
+}
+
+TEST(MmIo, RejectsArrayFormat) {
+  std::stringstream ss("%%MatrixMarket matrix array real general\n2 2\n");
+  EXPECT_THROW(read_matrix_market(ss), CheckError);
+}
+
+TEST(MmIo, RejectsOutOfRangeEntry) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "3 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(ss), CheckError);
+}
+
+TEST(MmIo, RejectsTruncatedEntries) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(ss), CheckError);
+}
+
+TEST(MmIo, FileRoundTrip) {
+  const CsrMatrix m = test::random_csr(6, 6, 0.4, 9);
+  const std::string path = testing::TempDir() + "/hh_mmio_test.mtx";
+  write_matrix_market_file(path, m);
+  const CsrMatrix back = read_matrix_market_file(path);
+  std::string why;
+  EXPECT_TRUE(approx_equal(m, back, 1e-9, &why)) << why;
+}
+
+TEST(MmIo, MissingFileThrows) {
+  EXPECT_THROW(read_matrix_market_file("/nonexistent/nope.mtx"), CheckError);
+}
+
+}  // namespace
+}  // namespace hh

@@ -1,0 +1,146 @@
+// The masked partial-product kernel is the numeric heart of HH-CPU: these
+// tests pin down the decomposition identity (the four partial products merge
+// to the full product) and the statistics the device models consume.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "primitives/tuple_merge.hpp"
+#include "sparse/partition.hpp"
+#include "spgemm/gustavson.hpp"
+#include "spgemm/spgemm.hpp"
+#include "spgemm/symbolic.hpp"
+#include "test_util.hpp"
+#include "util/check.hpp"
+
+namespace hh {
+namespace {
+
+std::vector<index_t> all_rows(index_t n) {
+  std::vector<index_t> rows(static_cast<std::size_t>(n));
+  std::iota(rows.begin(), rows.end(), index_t{0});
+  return rows;
+}
+
+TEST(PartialProduct, UnmaskedEqualsFullProduct) {
+  const CsrMatrix a = test::random_csr(25, 20, 0.25, 301);
+  const CsrMatrix b = test::random_csr(20, 22, 0.3, 302);
+  ThreadPool pool(2);
+  ProductStats stats;
+  const CooMatrix coo =
+      partial_product_tuples(a, b, all_rows(a.rows), {}, true, pool, &stats);
+  const CsrMatrix got = merged_coo_to_csr(coo);
+  const CsrMatrix want = gustavson_spgemm(a, b);
+  std::string why;
+  EXPECT_TRUE(approx_equal(want, got, 1e-9, &why)) << why;
+  EXPECT_EQ(stats.flops, total_flops(a, b));
+  EXPECT_EQ(stats.rows, a.rows);
+  EXPECT_EQ(stats.a_nnz, a.nnz());
+  EXPECT_EQ(stats.tuples, static_cast<std::int64_t>(coo.nnz()));
+}
+
+class DecompositionTest : public testing::TestWithParam<offset_t> {};
+
+TEST_P(DecompositionTest, FourPartialProductsMergeToFullProduct) {
+  // The algebraic core of Algorithm HH-CPU (paper Fig. 3): C is the sum of
+  // A_H×B_H + A_L×B_L + A_H×B_L + A_L×B_H, for any threshold.
+  const offset_t t = GetParam();
+  const CsrMatrix a = test::random_csr(30, 30, 0.2, 401);
+  ThreadPool pool(2);
+  const RowPartition p = classify_rows(a, t);
+
+  CooMatrix all(a.rows, a.cols);
+  for (const bool a_high : {true, false}) {
+    for (const bool b_high : {true, false}) {
+      const auto& rows = a_high ? p.high_rows : p.low_rows;
+      all.append(
+          partial_product_tuples(a, a, rows, p.is_high, b_high, pool, nullptr));
+    }
+  }
+  const CsrMatrix got = merged_coo_to_csr(all);
+  const CsrMatrix want = gustavson_spgemm(a, a);
+  std::string why;
+  EXPECT_TRUE(approx_equal(want, got, 1e-9, &why))
+      << "t=" << t << ": " << why;
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, DecompositionTest,
+                         testing::Values(0, 1, 3, 5, 8, 1000));
+
+TEST(PartialProduct, StatsSplitConsistent) {
+  const CsrMatrix a = test::random_csr(40, 40, 0.15, 402);
+  ThreadPool pool(2);
+  ProductStats stats;
+  partial_product_tuples(a, a, all_rows(a.rows), {}, true, pool, &stats);
+  EXPECT_EQ(stats.flops_shared + stats.flops_global, stats.flops);
+  EXPECT_LE(stats.max_row_flops, stats.flops);
+  EXPECT_GE(stats.warp_alu, stats.flops / 32);
+  EXPECT_GE(stats.b_read_bytes, 12 * stats.flops);
+}
+
+TEST(PartialProduct, MaskedStatsAddUpToUnmasked) {
+  const CsrMatrix a = test::random_csr(30, 30, 0.2, 403);
+  ThreadPool pool(2);
+  const RowPartition p = classify_rows(a, 5);
+  ProductStats hi, lo, full;
+  partial_product_tuples(a, a, all_rows(a.rows), p.is_high, true, pool, &hi);
+  partial_product_tuples(a, a, all_rows(a.rows), p.is_high, false, pool, &lo);
+  partial_product_tuples(a, a, all_rows(a.rows), {}, true, pool, &full);
+  EXPECT_EQ(hi.flops + lo.flops, full.flops);
+  EXPECT_EQ(hi.a_nnz + lo.a_nnz, full.a_nnz);
+}
+
+TEST(PartialProduct, DeterministicAcrossPoolSizes) {
+  const CsrMatrix a = test::random_csr(35, 35, 0.2, 404);
+  ThreadPool pool1(1), pool4(4);
+  const CooMatrix x =
+      partial_product_tuples(a, a, all_rows(a.rows), {}, true, pool1, nullptr);
+  const CooMatrix y =
+      partial_product_tuples(a, a, all_rows(a.rows), {}, true, pool4, nullptr);
+  EXPECT_EQ(x.r, y.r);
+  EXPECT_EQ(x.c, y.c);
+  EXPECT_EQ(x.v, y.v);
+}
+
+TEST(PartialProduct, EstimateIsExactOnFlopsAndUpperBoundOnTuples) {
+  const CsrMatrix a = test::random_csr(30, 30, 0.25, 405);
+  ThreadPool pool(2);
+  ProductStats actual;
+  partial_product_tuples(a, a, all_rows(a.rows), {}, true, pool, &actual);
+  const ProductStats est =
+      estimate_partial_product(a, a, all_rows(a.rows), {}, true);
+  EXPECT_EQ(est.flops, actual.flops);
+  EXPECT_EQ(est.a_nnz, actual.a_nnz);
+  EXPECT_EQ(est.warp_alu, actual.warp_alu);
+  EXPECT_EQ(est.b_read_bytes, actual.b_read_bytes);
+  EXPECT_EQ(est.max_row_flops, actual.max_row_flops);
+  EXPECT_GE(est.tuples, actual.tuples);
+}
+
+TEST(PartialProduct, EmptyRowList) {
+  const CsrMatrix a = test::random_csr(10, 10, 0.3, 406);
+  ThreadPool pool(2);
+  ProductStats stats;
+  const CooMatrix coo =
+      partial_product_tuples(a, a, {}, {}, true, pool, &stats);
+  EXPECT_EQ(coo.nnz(), 0u);
+  EXPECT_EQ(stats.rows, 0);
+  EXPECT_EQ(stats.flops, 0);
+}
+
+TEST(PartialProduct, SharedAccumCapKnob) {
+  const std::int64_t original = shared_accum_cap();
+  set_shared_accum_cap(1);
+  EXPECT_EQ(shared_accum_cap(), 1);
+  const CsrMatrix a = test::random_csr(20, 20, 0.4, 407);
+  ThreadPool pool(2);
+  ProductStats stats;
+  partial_product_tuples(a, a, all_rows(a.rows), {}, true, pool, &stats);
+  // With cap 1 nearly everything lands on the global path.
+  EXPECT_GT(stats.flops_global, stats.flops_shared);
+  set_shared_accum_cap(original);
+  EXPECT_THROW(set_shared_accum_cap(0), CheckError);
+}
+
+}  // namespace
+}  // namespace hh

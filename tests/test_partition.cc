@@ -1,0 +1,52 @@
+#include "sparse/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace hh {
+namespace {
+
+TEST(Partition, FlagsMatchThreshold) {
+  const CsrMatrix m = test::random_csr(50, 50, 0.2, 31);
+  const RowPartition p = classify_rows(m, 10);
+  ASSERT_EQ(p.is_high.size(), 50u);
+  for (index_t r = 0; r < m.rows; ++r) {
+    EXPECT_EQ(p.is_high[r] != 0, m.row_nnz(r) >= 10);
+  }
+}
+
+TEST(Partition, ListsArePartition) {
+  const CsrMatrix m = test::random_csr(40, 40, 0.3, 8);
+  const RowPartition p = classify_rows(m, 12);
+  EXPECT_EQ(p.high_count() + p.low_count(), m.rows);
+  for (const index_t r : p.high_rows) EXPECT_TRUE(p.is_high[r]);
+  for (const index_t r : p.low_rows) EXPECT_FALSE(p.is_high[r]);
+  // Ascending order.
+  for (std::size_t i = 1; i < p.high_rows.size(); ++i) {
+    EXPECT_LT(p.high_rows[i - 1], p.high_rows[i]);
+  }
+}
+
+TEST(Partition, NnzSplitsAddUp) {
+  const CsrMatrix m = test::random_csr(40, 40, 0.3, 9);
+  const RowPartition p = classify_rows(m, 12);
+  EXPECT_EQ(p.high_nnz + p.low_nnz, m.nnz());
+}
+
+TEST(Partition, ThresholdZeroMakesAllHigh) {
+  const CsrMatrix m = test::random_csr(10, 10, 0.3, 1);
+  const RowPartition p = classify_rows(m, 0);
+  EXPECT_EQ(p.high_count(), m.rows);
+  EXPECT_EQ(p.low_count(), 0);
+}
+
+TEST(Partition, HugeThresholdMakesAllLow) {
+  const CsrMatrix m = test::random_csr(10, 10, 0.3, 2);
+  const RowPartition p = classify_rows(m, 1000);
+  EXPECT_EQ(p.high_count(), 0);
+  EXPECT_EQ(p.low_count(), m.rows);
+}
+
+}  // namespace
+}  // namespace hh

@@ -1,0 +1,86 @@
+#include "powerlaw/fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/powerlaw_gen.hpp"
+#include "util/check.hpp"
+#include "util/prng.hpp"
+
+namespace hh {
+namespace {
+
+std::vector<std::int64_t> power_law_sample(double alpha, std::size_t n,
+                                           std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::int64_t> xs(n);
+  for (auto& x : xs) {
+    x = sample_power_law_degree(alpha, 1, 1000000, rng.uniform());
+  }
+  return xs;
+}
+
+class AlphaRecovery : public testing::TestWithParam<double> {};
+
+TEST_P(AlphaRecovery, MleRecoversExponent) {
+  // The generator uses the continuous (shifted-Pareto) approximation of the
+  // discrete power law, which deviates from the zeta pmf in the first few
+  // integers; fitting from xmin = 4 is in the regime where the two agree
+  // (Clauset et al., Appendix D).
+  const double alpha = GetParam();
+  const auto xs = power_law_sample(alpha, 60000, 99);
+  const double est = fit_alpha_fixed_xmin(xs, 4);
+  EXPECT_NEAR(est, alpha, 0.15 * alpha) << "alpha=" << alpha;
+}
+
+TEST_P(AlphaRecovery, FullFitRecoversExponent) {
+  const double alpha = GetParam();
+  const auto xs = power_law_sample(alpha, 20000, 7);
+  const PowerLawFit fit = fit_power_law(xs);
+  EXPECT_NEAR(fit.alpha, alpha, 0.25 * alpha) << "alpha=" << alpha;
+  EXPECT_GE(fit.xmin, 1);
+  EXPECT_LT(fit.ks, 0.2);
+  EXPECT_GT(fit.n_tail, 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, AlphaRecovery,
+                         testing::Values(2.1, 2.5, 3.0, 3.5, 4.5));
+
+TEST(PowerLawFit, KsSmallForTrueAlpha) {
+  const auto xs = power_law_sample(2.5, 20000, 5);
+  const double good = ks_statistic(xs, 4, 2.5);
+  const double bad = ks_statistic(xs, 4, 4.5);
+  EXPECT_LT(good, bad);
+  EXPECT_LT(good, 0.06);
+}
+
+TEST(PowerLawFit, RejectsEmptyInput) {
+  const std::vector<std::int64_t> xs;
+  EXPECT_THROW(fit_power_law(xs), CheckError);
+}
+
+TEST(PowerLawFit, IgnoresNonPositiveSamples) {
+  auto xs = power_law_sample(3.0, 5000, 11);
+  xs.push_back(0);
+  xs.push_back(-3);
+  const PowerLawFit fit = fit_power_law(xs);
+  EXPECT_GT(fit.alpha, 2.0);
+}
+
+TEST(PowerLawFit, FixedXminNeedsTail) {
+  const std::vector<std::int64_t> xs{1, 1, 1};
+  // All samples below xmin: no tail, returns 0 sentinel.
+  EXPECT_DOUBLE_EQ(fit_alpha_fixed_xmin(xs, 10), 0.0);
+}
+
+TEST(PowerLawFit, NarrowDistributionGetsLargeAlpha) {
+  // Near-constant row sizes (the paper's roadNet-CA / cop20kA regime) fit
+  // only with a very steep exponent.
+  Xoshiro256 rng(13);
+  std::vector<std::int64_t> xs(20000);
+  for (auto& x : xs) x = 20 + static_cast<std::int64_t>(rng.below(3));
+  const PowerLawFit fit = fit_power_law(xs);
+  EXPECT_GT(fit.alpha, 6.5);
+}
+
+}  // namespace
+}  // namespace hh

@@ -1,0 +1,89 @@
+#include "primitives/radix_sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/prng.hpp"
+
+namespace hh {
+namespace {
+
+TEST(PackRc, OrderMatchesLexicographic) {
+  EXPECT_LT(pack_rc(0, 5), pack_rc(1, 0));
+  EXPECT_LT(pack_rc(3, 2), pack_rc(3, 4));
+  EXPECT_EQ(pack_rc(3, 2), pack_rc(3, 2));
+}
+
+TEST(PackRc, RoundTrips) {
+  const std::uint64_t k = pack_rc(123456, 654321);
+  EXPECT_EQ(unpack_row(k), 123456);
+  EXPECT_EQ(unpack_col(k), 654321);
+}
+
+class RadixSortTest : public testing::TestWithParam<std::size_t> {};
+
+TEST_P(RadixSortTest, SortsLikeStdSort) {
+  const std::size_t n = GetParam();
+  Xoshiro256 rng(n + 7);
+  std::vector<std::uint64_t> keys(n);
+  for (auto& k : keys) k = rng();
+  std::vector<std::uint32_t> payload(n);
+  for (std::size_t i = 0; i < n; ++i) payload[i] = static_cast<std::uint32_t>(i);
+
+  std::vector<std::uint64_t> want = keys;
+  std::sort(want.begin(), want.end());
+
+  std::vector<std::uint64_t> got = keys;
+  radix_sort_kv(got, payload);
+  EXPECT_EQ(got, want);
+  // Payload consistency: payload[i] points at the original slot of got[i].
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(keys[payload[i]], got[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RadixSortTest,
+                         testing::Values(0, 1, 2, 3, 255, 256, 1000, 65536));
+
+TEST(RadixSort, StableForEqualKeys) {
+  std::vector<std::uint64_t> keys{7, 7, 7, 3, 3};
+  std::vector<std::uint32_t> payload{0, 1, 2, 3, 4};
+  radix_sort_kv(keys, payload);
+  EXPECT_EQ(payload, (std::vector<std::uint32_t>{3, 4, 0, 1, 2}));
+}
+
+TEST(RadixSort, SkipsDegeneratePassesCorrectly) {
+  // All keys share high bytes; only the low byte differs.
+  std::vector<std::uint64_t> keys{0xAA00000000000003ULL, 0xAA00000000000001ULL,
+                                  0xAA00000000000002ULL};
+  std::vector<std::uint32_t> payload{0, 1, 2};
+  radix_sort_kv(keys, payload);
+  EXPECT_EQ(payload, (std::vector<std::uint32_t>{1, 2, 0}));
+}
+
+TEST(RadixSort, PermutationLeavesInputUntouched) {
+  Xoshiro256 rng(9);
+  std::vector<std::uint64_t> keys(100);
+  for (auto& k : keys) k = rng.below(50);
+  const std::vector<std::uint64_t> copy = keys;
+  const std::vector<std::uint32_t> perm = radix_sort_permutation(keys);
+  EXPECT_EQ(keys, copy);
+  for (std::size_t i = 1; i < perm.size(); ++i) {
+    EXPECT_LE(keys[perm[i - 1]], keys[perm[i]]);
+  }
+}
+
+TEST(RadixSort, PackedRcKeysSortRowMajor) {
+  std::vector<std::uint64_t> keys{pack_rc(2, 1), pack_rc(0, 9), pack_rc(2, 0),
+                                  pack_rc(1, 5)};
+  std::vector<std::uint32_t> payload{0, 1, 2, 3};
+  radix_sort_kv(keys, payload);
+  EXPECT_EQ(unpack_row(keys[0]), 0);
+  EXPECT_EQ(unpack_row(keys[3]), 2);
+  EXPECT_EQ(unpack_col(keys[2]), 0);
+  EXPECT_EQ(unpack_col(keys[3]), 1);
+}
+
+}  // namespace
+}  // namespace hh

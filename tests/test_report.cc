@@ -1,0 +1,40 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hh {
+namespace {
+
+TEST(Report, ToStringContainsKeyFields) {
+  RunReport r;
+  r.algorithm = "HH-CPU";
+  r.total_s = 0.123;
+  r.phase1_s = 0.001;
+  r.phase2_s = 0.05;
+  r.phase3_s = 0.06;
+  r.phase4_s = 0.002;
+  r.threshold_a = 42;
+  r.threshold_b = 43;
+  r.high_rows_a = 7;
+  r.flops = 1000;
+  r.output_nnz = 900;
+  r.merge.tuples_in = 1100;
+  r.merge.tuples_out = 900;
+  const std::string s = r.to_string();
+  EXPECT_NE(s.find("HH-CPU"), std::string::npos);
+  EXPECT_NE(s.find("123.000 ms"), std::string::npos);
+  EXPECT_NE(s.find("t_A=42"), std::string::npos);
+  EXPECT_NE(s.find("phase III"), std::string::npos);
+  EXPECT_NE(s.find("1100 tuples -> 900"), std::string::npos);
+  EXPECT_NE(s.find("output nnz 900"), std::string::npos);
+}
+
+TEST(Report, DefaultsAreZero) {
+  const RunReport r;
+  EXPECT_DOUBLE_EQ(r.total_s, 0);
+  EXPECT_EQ(r.output_nnz, 0);
+  EXPECT_EQ(r.queue_cpu_units, 0);
+}
+
+}  // namespace
+}  // namespace hh

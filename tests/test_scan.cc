@@ -1,0 +1,63 @@
+#include "primitives/scan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/prng.hpp"
+
+namespace hh {
+namespace {
+
+TEST(Scan, ExclusiveBasic) {
+  const std::vector<std::int64_t> in{1, 2, 3, 4};
+  std::vector<std::int64_t> out(4);
+  EXPECT_EQ(exclusive_scan(in, out), 10);
+  EXPECT_EQ(out, (std::vector<std::int64_t>{0, 1, 3, 6}));
+}
+
+TEST(Scan, ExclusiveInPlace) {
+  std::vector<std::int64_t> v{5, 5, 5};
+  exclusive_scan(v, v);
+  EXPECT_EQ(v, (std::vector<std::int64_t>{0, 5, 10}));
+}
+
+TEST(Scan, InclusiveBasic) {
+  const std::vector<std::int64_t> in{1, 2, 3};
+  std::vector<std::int64_t> out(3);
+  inclusive_scan(in, out);
+  EXPECT_EQ(out, (std::vector<std::int64_t>{1, 3, 6}));
+}
+
+TEST(Scan, EmptyInput) {
+  std::vector<std::int64_t> v;
+  EXPECT_EQ(exclusive_scan(v, v), 0);
+}
+
+class ParallelScanTest : public testing::TestWithParam<std::int64_t> {};
+
+TEST_P(ParallelScanTest, MatchesSequential) {
+  const std::int64_t n = GetParam();
+  Xoshiro256 rng(static_cast<std::uint64_t>(n) + 1);
+  std::vector<std::int64_t> in(static_cast<std::size_t>(n));
+  for (auto& x : in) x = static_cast<std::int64_t>(rng.below(100));
+  std::vector<std::int64_t> seq(in.size()), par(in.size());
+  const std::int64_t total_seq = exclusive_scan(in, seq);
+  ThreadPool pool(3);
+  const std::int64_t total_par = parallel_exclusive_scan(in, par, pool);
+  EXPECT_EQ(total_seq, total_par);
+  EXPECT_EQ(seq, par);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ParallelScanTest,
+                         testing::Values(1, 2, 7, 64, 1000, 4097, 100000));
+
+TEST(ParallelScan, InPlace) {
+  std::vector<std::int64_t> v(1000, 1);
+  ThreadPool pool(2);
+  EXPECT_EQ(parallel_exclusive_scan(v, v, pool), 1000);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(v[i], static_cast<std::int64_t>(i));
+  }
+}
+
+}  // namespace
+}  // namespace hh

@@ -1,0 +1,94 @@
+#include "primitives/segmented_reduce.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/prng.hpp"
+
+namespace hh {
+namespace {
+
+TEST(MarkHeads, BasicRuns) {
+  const std::vector<std::uint64_t> keys{1, 1, 2, 3, 3, 3};
+  const auto mark = mark_segment_heads(keys);
+  EXPECT_EQ(mark, (std::vector<std::int64_t>{1, 0, 1, 1, 0, 0}));
+}
+
+TEST(MarkHeads, Empty) {
+  EXPECT_TRUE(mark_segment_heads({}).empty());
+}
+
+TEST(SegmentedReduce, SumsRuns) {
+  const std::vector<std::uint64_t> keys{1, 1, 2, 3, 3, 3};
+  const std::vector<value_t> vals{1, 2, 10, 100, 200, 300};
+  ThreadPool pool(2);
+  const auto r = segmented_reduce(keys, vals, pool);
+  ASSERT_EQ(r.unique_keys.size(), 3u);
+  EXPECT_EQ(r.unique_keys, (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(r.sums[0], 3.0);
+  EXPECT_DOUBLE_EQ(r.sums[1], 10.0);
+  EXPECT_DOUBLE_EQ(r.sums[2], 600.0);
+}
+
+TEST(SegmentedReduce, SingleRun) {
+  const std::vector<std::uint64_t> keys(17, 9);
+  const std::vector<value_t> vals(17, 1.5);
+  ThreadPool pool(3);
+  const auto r = segmented_reduce(keys, vals, pool);
+  ASSERT_EQ(r.unique_keys.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.sums[0], 17 * 1.5);
+}
+
+TEST(SegmentedReduce, AllDistinct) {
+  std::vector<std::uint64_t> keys(100);
+  std::vector<value_t> vals(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    keys[i] = i;
+    vals[i] = static_cast<value_t>(i);
+  }
+  ThreadPool pool(2);
+  const auto r = segmented_reduce(keys, vals, pool);
+  ASSERT_EQ(r.unique_keys.size(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(r.sums[i], static_cast<value_t>(i));
+  }
+}
+
+TEST(SegmentedReduce, Empty) {
+  ThreadPool pool(2);
+  const auto r = segmented_reduce({}, {}, pool);
+  EXPECT_TRUE(r.unique_keys.empty());
+}
+
+class SegmentedReduceRandom : public testing::TestWithParam<std::size_t> {};
+
+TEST_P(SegmentedReduceRandom, MatchesMapReference) {
+  const std::size_t n = GetParam();
+  Xoshiro256 rng(n);
+  std::vector<std::uint64_t> keys(n);
+  std::vector<value_t> vals(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = rng.below(n / 4 + 1);
+    vals[i] = rng.uniform();
+  }
+  std::sort(keys.begin(), keys.end());
+  std::map<std::uint64_t, value_t> want;
+  for (std::size_t i = 0; i < n; ++i) want[keys[i]] += vals[i];
+
+  ThreadPool pool(4);  // multiple blocks: runs crossing block boundaries
+  const auto r = segmented_reduce(keys, vals, pool);
+  ASSERT_EQ(r.unique_keys.size(), want.size());
+  std::size_t i = 0;
+  for (const auto& [k, v] : want) {
+    EXPECT_EQ(r.unique_keys[i], k);
+    EXPECT_NEAR(r.sums[i], v, 1e-9);
+    ++i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SegmentedReduceRandom,
+                         testing::Values(1, 2, 16, 1000, 20000));
+
+}  // namespace
+}  // namespace hh

@@ -1,0 +1,73 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace hh {
+namespace {
+
+TEST(Stats, Mean) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, MeanOfSingle) {
+  const std::vector<double> xs{7};
+  EXPECT_DOUBLE_EQ(mean(xs), 7.0);
+}
+
+TEST(Stats, MeanEmptyThrows) {
+  const std::vector<double> xs;
+  EXPECT_THROW(mean(xs), CheckError);
+}
+
+TEST(Stats, Geomean) {
+  const std::vector<double> xs{1, 4};
+  EXPECT_NEAR(geomean(xs), 2.0, 1e-12);
+}
+
+TEST(Stats, GeomeanRequiresPositive) {
+  const std::vector<double> xs{1, -4};
+  EXPECT_THROW(geomean(xs), CheckError);
+}
+
+TEST(Stats, MedianOdd) {
+  EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+}
+
+TEST(Stats, MedianEven) {
+  EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+}
+
+TEST(Stats, Stddev) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_NEAR(stddev(xs), 2.138, 1e-3);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs{3, -1, 9, 2};
+  EXPECT_DOUBLE_EQ(min_of(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 9.0);
+}
+
+TEST(Stats, SummaryFields) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.n, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_GT(s.stddev, 0.0);
+}
+
+TEST(Stats, SummaryEmptyIsZero) {
+  const std::vector<double> xs;
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace hh

@@ -1,0 +1,70 @@
+#include "spgemm/symbolic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spgemm/reference.hpp"
+#include "test_util.hpp"
+#include "util/check.hpp"
+
+namespace hh {
+namespace {
+
+TEST(Symbolic, RowFlopsMatchesBruteForce) {
+  const CsrMatrix a = test::random_csr(15, 12, 0.3, 2);
+  const CsrMatrix b = test::random_csr(12, 18, 0.25, 3);
+  const auto flops = row_flops(a, b);
+  ASSERT_EQ(flops.size(), 15u);
+  for (index_t i = 0; i < a.rows; ++i) {
+    offset_t want = 0;
+    for (const index_t j : a.row_indices(i)) want += b.row_nnz(j);
+    EXPECT_EQ(flops[i], want);
+  }
+}
+
+TEST(Symbolic, TotalFlopsIsSum) {
+  const CsrMatrix a = test::random_csr(10, 10, 0.4, 4);
+  const auto flops = row_flops(a, a);
+  offset_t sum = 0;
+  for (const offset_t f : flops) sum += f;
+  EXPECT_EQ(total_flops(a, a), sum);
+}
+
+TEST(Symbolic, MaskedFlopsSplitAddsUp) {
+  const CsrMatrix a = test::random_csr(20, 20, 0.3, 5);
+  std::vector<std::uint8_t> mask(20);
+  for (index_t j = 0; j < 20; ++j) mask[j] = (j % 3 == 0) ? 1 : 0;
+  const auto all = row_flops(a, a);
+  const auto hi = row_flops_masked(a, a, mask, true);
+  const auto lo = row_flops_masked(a, a, mask, false);
+  for (index_t i = 0; i < a.rows; ++i) {
+    EXPECT_EQ(hi[i] + lo[i], all[i]);
+  }
+}
+
+TEST(Symbolic, ExactRowNnzMatchesReference) {
+  const CsrMatrix a = test::random_csr(15, 12, 0.3, 6);
+  const CsrMatrix b = test::random_csr(12, 14, 0.3, 7);
+  const auto nnz = exact_row_nnz(a, b);
+  const CsrMatrix c = reference_multiply_dense(a, b);
+  for (index_t i = 0; i < a.rows; ++i) {
+    EXPECT_EQ(nnz[i], c.row_nnz(i)) << "row " << i;
+  }
+}
+
+TEST(Symbolic, ExactRowNnzBoundedByFlops) {
+  const CsrMatrix a = test::random_csr(25, 25, 0.2, 8);
+  const auto nnz = exact_row_nnz(a, a);
+  const auto flops = row_flops(a, a);
+  for (index_t i = 0; i < a.rows; ++i) {
+    EXPECT_LE(nnz[i], flops[i]);
+  }
+}
+
+TEST(Symbolic, IncompatibleShapesThrow) {
+  const CsrMatrix a(3, 4), b(5, 3);
+  EXPECT_THROW(row_flops(a, b), CheckError);
+  EXPECT_THROW(exact_row_nnz(a, b), CheckError);
+}
+
+}  // namespace
+}  // namespace hh

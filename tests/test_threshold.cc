@@ -1,0 +1,70 @@
+#include "core/threshold.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/datasets.hpp"
+#include "gen/powerlaw_gen.hpp"
+#include "sparse/row_stats.hpp"
+#include "test_util.hpp"
+#include "util/check.hpp"
+
+namespace hh {
+namespace {
+
+TEST(ThresholdCandidates, AscendingAndDeduplicated) {
+  const CsrMatrix m = test::random_csr(100, 100, 0.1, 61);
+  const auto cand = threshold_candidates(m);
+  ASSERT_FALSE(cand.empty());
+  for (std::size_t i = 1; i < cand.size(); ++i) {
+    EXPECT_LT(cand[i - 1], cand[i]);
+  }
+  EXPECT_GE(cand.front(), 2);
+}
+
+TEST(ThresholdCandidates, CoversRowSizeRange) {
+  PowerLawGenConfig cfg;
+  cfg.rows = 3000;
+  cfg.alpha = 2.3;
+  cfg.target_nnz = 15000;
+  cfg.seed = 62;
+  const CsrMatrix m = generate_power_law_matrix(cfg);
+  const auto cand = threshold_candidates(m);
+  const RowStats s = row_stats(m);
+  EXPECT_LE(cand.front(), s.min + 2);
+  EXPECT_GE(cand.back(), s.max);  // largest candidate empties A_H
+}
+
+TEST(ThresholdCandidates, RespectsMaxCount) {
+  const CsrMatrix m = test::random_csr(200, 200, 0.2, 63);
+  EXPECT_LE(threshold_candidates(m, 5).size(), 5u);
+  EXPECT_THROW(threshold_candidates(m, 1), CheckError);
+}
+
+TEST(Threshold, PredictionsPositive) {
+  const CsrMatrix m = make_dataset(dataset_spec("wiki-Vote"), 0.1);
+  const HeteroPlatform plat;
+  for (const offset_t t : threshold_candidates(m)) {
+    EXPECT_GT(predict_total_time(m, m, t, plat), 0.0);
+  }
+}
+
+TEST(Threshold, AnalyticPickIsArgminOfPrediction) {
+  const CsrMatrix m = make_dataset(dataset_spec("ca-CondMat"), 0.1);
+  const HeteroPlatform plat;
+  const ThresholdChoice choice = pick_threshold_analytic(m, m, plat);
+  for (const offset_t t : threshold_candidates(m)) {
+    EXPECT_LE(choice.predicted_s, predict_total_time(m, m, t, plat) + 1e-12);
+  }
+}
+
+TEST(Threshold, EmpiricalPickBeatsOrMatchesEveryCandidate) {
+  const CsrMatrix m = make_dataset(dataset_spec("wiki-Vote"), 0.06);
+  const HeteroPlatform plat;
+  ThreadPool pool(1);
+  const ThresholdChoice choice = pick_threshold_empirical(m, m, plat, pool);
+  EXPECT_GT(choice.t, 0);
+  EXPECT_GT(choice.predicted_s, 0.0);
+}
+
+}  // namespace
+}  // namespace hh

@@ -1,0 +1,89 @@
+#include "primitives/tuple_merge.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/equality.hpp"
+#include "test_util.hpp"
+#include "util/prng.hpp"
+
+namespace hh {
+namespace {
+
+TEST(TupleMerge, CombinesDuplicates) {
+  CooMatrix coo(3, 3);
+  coo.push(1, 2, 1.0);
+  coo.push(0, 0, 5.0);
+  coo.push(1, 2, 2.0);
+  coo.push(1, 2, 4.0);
+  MergeStats stats;
+  const CsrMatrix m = merged_coo_to_csr(coo, &stats);
+  m.validate(true);
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_EQ(stats.tuples_in, 4);
+  EXPECT_EQ(stats.tuples_out, 2);
+  EXPECT_DOUBLE_EQ(m.row_values(1)[0], 7.0);
+}
+
+TEST(TupleMerge, EmptyInput) {
+  CooMatrix coo(5, 5);
+  MergeStats stats;
+  const CsrMatrix m = merged_coo_to_csr(coo, &stats);
+  m.validate();
+  EXPECT_EQ(m.nnz(), 0);
+  EXPECT_EQ(stats.tuples_in, 0);
+}
+
+TEST(TupleMerge, MatchesTripletBuilder) {
+  Xoshiro256 rng(55);
+  CooMatrix coo(30, 30);
+  std::vector<index_t> tr, tc;
+  std::vector<value_t> tv;
+  for (int i = 0; i < 500; ++i) {
+    const auto r = static_cast<index_t>(rng.below(30));
+    const auto c = static_cast<index_t>(rng.below(30));
+    const value_t v = rng.uniform();
+    coo.push(r, c, v);
+    tr.push_back(r);
+    tc.push_back(c);
+    tv.push_back(v);
+  }
+  const CsrMatrix got = merged_coo_to_csr(coo);
+  const CsrMatrix want = csr_from_triplets(30, 30, tr, tc, tv);
+  std::string why;
+  EXPECT_TRUE(approx_equal(want, got, 1e-9, &why)) << why;
+}
+
+TEST(TupleMerge, DeterministicAcrossPoolSizes) {
+  Xoshiro256 rng(66);
+  CooMatrix coo(40, 40);
+  for (int i = 0; i < 2000; ++i) {
+    coo.push(static_cast<index_t>(rng.below(40)),
+             static_cast<index_t>(rng.below(40)), rng.uniform());
+  }
+  ThreadPool pool1(1), pool4(4);
+  const CsrMatrix a = merged_coo_to_csr(coo, pool1);
+  const CsrMatrix b = merged_coo_to_csr(coo, pool4);
+  EXPECT_EQ(a.indices, b.indices);
+  EXPECT_EQ(a.values, b.values);
+  EXPECT_EQ(a.indptr, b.indptr);
+}
+
+TEST(TupleMerge, OutputSortedWithinRows) {
+  CooMatrix coo(2, 10);
+  coo.push(0, 9, 1.0);
+  coo.push(0, 3, 1.0);
+  coo.push(0, 7, 1.0);
+  const CsrMatrix m = merged_coo_to_csr(coo);
+  m.validate(true);
+}
+
+TEST(TupleMerge, PreservesEmptyTrailingRows) {
+  CooMatrix coo(10, 10);
+  coo.push(0, 0, 1.0);
+  const CsrMatrix m = merged_coo_to_csr(coo);
+  EXPECT_EQ(m.rows, 10);
+  EXPECT_EQ(m.row_nnz(9), 0);
+}
+
+}  // namespace
+}  // namespace hh

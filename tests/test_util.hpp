@@ -1,0 +1,41 @@
+// Shared helpers for the test suite: small deterministic random matrices and
+// a dense-reference comparison that tolerates explicit zeros.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "sparse/csr.hpp"
+#include "sparse/equality.hpp"
+#include "spgemm/reference.hpp"
+#include "util/prng.hpp"
+
+namespace hh::test {
+
+/// Random CSR with each entry present independently with probability
+/// `density` and value in [0.5, 1.5]. Deterministic in seed.
+inline CsrMatrix random_csr(index_t rows, index_t cols, double density,
+                            std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  CsrMatrix m(rows, cols);
+  for (index_t r = 0; r < rows; ++r) {
+    for (index_t c = 0; c < cols; ++c) {
+      if (rng.uniform() < density) {
+        m.indices.push_back(c);
+        m.values.push_back(0.5 + rng.uniform());
+      }
+    }
+    m.indptr[r + 1] = static_cast<offset_t>(m.indices.size());
+  }
+  return m;
+}
+
+/// EXPECT that `got` equals the dense-reference product of a and b.
+inline void expect_matches_reference(const CsrMatrix& a, const CsrMatrix& b,
+                                     const CsrMatrix& got,
+                                     const char* label = "product") {
+  const CsrMatrix want = reference_multiply_dense(a, b);
+  std::string why;
+  EXPECT_TRUE(approx_equal(want, got, 1e-9, &why)) << label << ": " << why;
+}
+
+}  // namespace hh::test
