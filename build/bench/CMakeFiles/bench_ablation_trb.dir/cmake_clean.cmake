@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_trb.dir/bench_ablation_trb.cc.o"
+  "CMakeFiles/bench_ablation_trb.dir/bench_ablation_trb.cc.o.d"
+  "bench_ablation_trb"
+  "bench_ablation_trb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_trb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

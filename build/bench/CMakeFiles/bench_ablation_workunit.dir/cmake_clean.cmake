@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_workunit.dir/bench_ablation_workunit.cc.o"
+  "CMakeFiles/bench_ablation_workunit.dir/bench_ablation_workunit.cc.o.d"
+  "bench_ablation_workunit"
+  "bench_ablation_workunit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_workunit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

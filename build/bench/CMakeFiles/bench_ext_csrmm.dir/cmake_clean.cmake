@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_csrmm.dir/bench_ext_csrmm.cc.o"
+  "CMakeFiles/bench_ext_csrmm.dir/bench_ext_csrmm.cc.o.d"
+  "bench_ext_csrmm"
+  "bench_ext_csrmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_csrmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

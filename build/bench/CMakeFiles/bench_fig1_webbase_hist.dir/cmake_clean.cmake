@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_webbase_hist.dir/bench_fig1_webbase_hist.cc.o"
+  "CMakeFiles/bench_fig1_webbase_hist.dir/bench_fig1_webbase_hist.cc.o.d"
+  "bench_fig1_webbase_hist"
+  "bench_fig1_webbase_hist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_webbase_hist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

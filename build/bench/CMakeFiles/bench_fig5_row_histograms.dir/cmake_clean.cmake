@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_row_histograms.dir/bench_fig5_row_histograms.cc.o"
+  "CMakeFiles/bench_fig5_row_histograms.dir/bench_fig5_row_histograms.cc.o.d"
+  "bench_fig5_row_histograms"
+  "bench_fig5_row_histograms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_row_histograms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_transfer_model.dir/bench_transfer_model.cc.o"
+  "CMakeFiles/bench_transfer_model.dir/bench_transfer_model.cc.o.d"
+  "bench_transfer_model"
+  "bench_transfer_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_transfer_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmm_tool.dir/spmm_tool.cpp.o"
+  "CMakeFiles/spmm_tool.dir/spmm_tool.cpp.o.d"
+  "spmm_tool"
+  "spmm_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmm_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webgraph_squaring.dir/webgraph_squaring.cpp.o"
+  "CMakeFiles/webgraph_squaring.dir/webgraph_squaring.cpp.o.d"
+  "webgraph_squaring"
+  "webgraph_squaring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webgraph_squaring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for webgraph_squaring.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cc" "src/CMakeFiles/hhspmm.dir/core/baselines.cc.o" "gcc" "src/CMakeFiles/hhspmm.dir/core/baselines.cc.o.d"
+  "/root/repo/src/core/csrmm.cc" "src/CMakeFiles/hhspmm.dir/core/csrmm.cc.o" "gcc" "src/CMakeFiles/hhspmm.dir/core/csrmm.cc.o.d"
+  "/root/repo/src/core/hh_cpu.cc" "src/CMakeFiles/hhspmm.dir/core/hh_cpu.cc.o" "gcc" "src/CMakeFiles/hhspmm.dir/core/hh_cpu.cc.o.d"
+  "/root/repo/src/core/partition_plan.cc" "src/CMakeFiles/hhspmm.dir/core/partition_plan.cc.o" "gcc" "src/CMakeFiles/hhspmm.dir/core/partition_plan.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/hhspmm.dir/core/report.cc.o" "gcc" "src/CMakeFiles/hhspmm.dir/core/report.cc.o.d"
+  "/root/repo/src/core/threshold.cc" "src/CMakeFiles/hhspmm.dir/core/threshold.cc.o" "gcc" "src/CMakeFiles/hhspmm.dir/core/threshold.cc.o.d"
+  "/root/repo/src/device/cost_model.cc" "src/CMakeFiles/hhspmm.dir/device/cost_model.cc.o" "gcc" "src/CMakeFiles/hhspmm.dir/device/cost_model.cc.o.d"
+  "/root/repo/src/device/cpu_sim.cc" "src/CMakeFiles/hhspmm.dir/device/cpu_sim.cc.o" "gcc" "src/CMakeFiles/hhspmm.dir/device/cpu_sim.cc.o.d"
+  "/root/repo/src/device/gpu_sim.cc" "src/CMakeFiles/hhspmm.dir/device/gpu_sim.cc.o" "gcc" "src/CMakeFiles/hhspmm.dir/device/gpu_sim.cc.o.d"
+  "/root/repo/src/device/pcie.cc" "src/CMakeFiles/hhspmm.dir/device/pcie.cc.o" "gcc" "src/CMakeFiles/hhspmm.dir/device/pcie.cc.o.d"
+  "/root/repo/src/device/platform.cc" "src/CMakeFiles/hhspmm.dir/device/platform.cc.o" "gcc" "src/CMakeFiles/hhspmm.dir/device/platform.cc.o.d"
+  "/root/repo/src/gen/datasets.cc" "src/CMakeFiles/hhspmm.dir/gen/datasets.cc.o" "gcc" "src/CMakeFiles/hhspmm.dir/gen/datasets.cc.o.d"
+  "/root/repo/src/gen/powerlaw_gen.cc" "src/CMakeFiles/hhspmm.dir/gen/powerlaw_gen.cc.o" "gcc" "src/CMakeFiles/hhspmm.dir/gen/powerlaw_gen.cc.o.d"
+  "/root/repo/src/gen/rmat.cc" "src/CMakeFiles/hhspmm.dir/gen/rmat.cc.o" "gcc" "src/CMakeFiles/hhspmm.dir/gen/rmat.cc.o.d"
+  "/root/repo/src/powerlaw/fit.cc" "src/CMakeFiles/hhspmm.dir/powerlaw/fit.cc.o" "gcc" "src/CMakeFiles/hhspmm.dir/powerlaw/fit.cc.o.d"
+  "/root/repo/src/powerlaw/histogram.cc" "src/CMakeFiles/hhspmm.dir/powerlaw/histogram.cc.o" "gcc" "src/CMakeFiles/hhspmm.dir/powerlaw/histogram.cc.o.d"
+  "/root/repo/src/primitives/radix_sort.cc" "src/CMakeFiles/hhspmm.dir/primitives/radix_sort.cc.o" "gcc" "src/CMakeFiles/hhspmm.dir/primitives/radix_sort.cc.o.d"
+  "/root/repo/src/primitives/scan.cc" "src/CMakeFiles/hhspmm.dir/primitives/scan.cc.o" "gcc" "src/CMakeFiles/hhspmm.dir/primitives/scan.cc.o.d"
+  "/root/repo/src/primitives/segmented_reduce.cc" "src/CMakeFiles/hhspmm.dir/primitives/segmented_reduce.cc.o" "gcc" "src/CMakeFiles/hhspmm.dir/primitives/segmented_reduce.cc.o.d"
+  "/root/repo/src/primitives/tuple_merge.cc" "src/CMakeFiles/hhspmm.dir/primitives/tuple_merge.cc.o" "gcc" "src/CMakeFiles/hhspmm.dir/primitives/tuple_merge.cc.o.d"
+  "/root/repo/src/sched/chunk.cc" "src/CMakeFiles/hhspmm.dir/sched/chunk.cc.o" "gcc" "src/CMakeFiles/hhspmm.dir/sched/chunk.cc.o.d"
+  "/root/repo/src/sched/static_partition.cc" "src/CMakeFiles/hhspmm.dir/sched/static_partition.cc.o" "gcc" "src/CMakeFiles/hhspmm.dir/sched/static_partition.cc.o.d"
+  "/root/repo/src/sched/workqueue.cc" "src/CMakeFiles/hhspmm.dir/sched/workqueue.cc.o" "gcc" "src/CMakeFiles/hhspmm.dir/sched/workqueue.cc.o.d"
+  "/root/repo/src/sparse/convert.cc" "src/CMakeFiles/hhspmm.dir/sparse/convert.cc.o" "gcc" "src/CMakeFiles/hhspmm.dir/sparse/convert.cc.o.d"
+  "/root/repo/src/sparse/coo.cc" "src/CMakeFiles/hhspmm.dir/sparse/coo.cc.o" "gcc" "src/CMakeFiles/hhspmm.dir/sparse/coo.cc.o.d"
+  "/root/repo/src/sparse/csr.cc" "src/CMakeFiles/hhspmm.dir/sparse/csr.cc.o" "gcc" "src/CMakeFiles/hhspmm.dir/sparse/csr.cc.o.d"
+  "/root/repo/src/sparse/dense.cc" "src/CMakeFiles/hhspmm.dir/sparse/dense.cc.o" "gcc" "src/CMakeFiles/hhspmm.dir/sparse/dense.cc.o.d"
+  "/root/repo/src/sparse/equality.cc" "src/CMakeFiles/hhspmm.dir/sparse/equality.cc.o" "gcc" "src/CMakeFiles/hhspmm.dir/sparse/equality.cc.o.d"
+  "/root/repo/src/sparse/mm_io.cc" "src/CMakeFiles/hhspmm.dir/sparse/mm_io.cc.o" "gcc" "src/CMakeFiles/hhspmm.dir/sparse/mm_io.cc.o.d"
+  "/root/repo/src/sparse/partition.cc" "src/CMakeFiles/hhspmm.dir/sparse/partition.cc.o" "gcc" "src/CMakeFiles/hhspmm.dir/sparse/partition.cc.o.d"
+  "/root/repo/src/sparse/row_stats.cc" "src/CMakeFiles/hhspmm.dir/sparse/row_stats.cc.o" "gcc" "src/CMakeFiles/hhspmm.dir/sparse/row_stats.cc.o.d"
+  "/root/repo/src/spgemm/esc_spgemm.cc" "src/CMakeFiles/hhspmm.dir/spgemm/esc_spgemm.cc.o" "gcc" "src/CMakeFiles/hhspmm.dir/spgemm/esc_spgemm.cc.o.d"
+  "/root/repo/src/spgemm/gustavson.cc" "src/CMakeFiles/hhspmm.dir/spgemm/gustavson.cc.o" "gcc" "src/CMakeFiles/hhspmm.dir/spgemm/gustavson.cc.o.d"
+  "/root/repo/src/spgemm/hash_spgemm.cc" "src/CMakeFiles/hhspmm.dir/spgemm/hash_spgemm.cc.o" "gcc" "src/CMakeFiles/hhspmm.dir/spgemm/hash_spgemm.cc.o.d"
+  "/root/repo/src/spgemm/heap_spgemm.cc" "src/CMakeFiles/hhspmm.dir/spgemm/heap_spgemm.cc.o" "gcc" "src/CMakeFiles/hhspmm.dir/spgemm/heap_spgemm.cc.o.d"
+  "/root/repo/src/spgemm/reference.cc" "src/CMakeFiles/hhspmm.dir/spgemm/reference.cc.o" "gcc" "src/CMakeFiles/hhspmm.dir/spgemm/reference.cc.o.d"
+  "/root/repo/src/spgemm/row_column.cc" "src/CMakeFiles/hhspmm.dir/spgemm/row_column.cc.o" "gcc" "src/CMakeFiles/hhspmm.dir/spgemm/row_column.cc.o.d"
+  "/root/repo/src/spgemm/spgemm.cc" "src/CMakeFiles/hhspmm.dir/spgemm/spgemm.cc.o" "gcc" "src/CMakeFiles/hhspmm.dir/spgemm/spgemm.cc.o.d"
+  "/root/repo/src/spgemm/symbolic.cc" "src/CMakeFiles/hhspmm.dir/spgemm/symbolic.cc.o" "gcc" "src/CMakeFiles/hhspmm.dir/spgemm/symbolic.cc.o.d"
+  "/root/repo/src/util/log.cc" "src/CMakeFiles/hhspmm.dir/util/log.cc.o" "gcc" "src/CMakeFiles/hhspmm.dir/util/log.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/hhspmm.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/hhspmm.dir/util/stats.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/hhspmm.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/hhspmm.dir/util/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csrmm.dir/test_csrmm.cc.o"
+  "CMakeFiles/test_csrmm.dir/test_csrmm.cc.o.d"
+  "test_csrmm"
+  "test_csrmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csrmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_equality.dir/test_equality.cc.o"
+  "CMakeFiles/test_equality.dir/test_equality.cc.o.d"
+  "test_equality"
+  "test_equality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_equality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_esc_spgemm.dir/test_esc_spgemm.cc.o"
+  "CMakeFiles/test_esc_spgemm.dir/test_esc_spgemm.cc.o.d"
+  "test_esc_spgemm"
+  "test_esc_spgemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_esc_spgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mm_io.dir/test_mm_io.cc.o"
+  "CMakeFiles/test_mm_io.dir/test_mm_io.cc.o.d"
+  "test_mm_io"
+  "test_mm_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mm_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

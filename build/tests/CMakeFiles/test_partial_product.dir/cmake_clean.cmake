@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partial_product.dir/test_partial_product.cc.o"
+  "CMakeFiles/test_partial_product.dir/test_partial_product.cc.o.d"
+  "test_partial_product"
+  "test_partial_product.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partial_product.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_powerlaw_fit.dir/test_powerlaw_fit.cc.o"
+  "CMakeFiles/test_powerlaw_fit.dir/test_powerlaw_fit.cc.o.d"
+  "test_powerlaw_fit"
+  "test_powerlaw_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_powerlaw_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_segmented_reduce.dir/test_segmented_reduce.cc.o"
+  "CMakeFiles/test_segmented_reduce.dir/test_segmented_reduce.cc.o.d"
+  "test_segmented_reduce"
+  "test_segmented_reduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_segmented_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

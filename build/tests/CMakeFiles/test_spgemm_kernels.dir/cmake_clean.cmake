@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spgemm_kernels.dir/test_spgemm_kernels.cc.o"
+  "CMakeFiles/test_spgemm_kernels.dir/test_spgemm_kernels.cc.o.d"
+  "test_spgemm_kernels"
+  "test_spgemm_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spgemm_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

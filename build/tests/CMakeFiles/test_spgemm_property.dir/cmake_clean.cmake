@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spgemm_property.dir/test_spgemm_property.cc.o"
+  "CMakeFiles/test_spgemm_property.dir/test_spgemm_property.cc.o.d"
+  "test_spgemm_property"
+  "test_spgemm_property.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spgemm_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

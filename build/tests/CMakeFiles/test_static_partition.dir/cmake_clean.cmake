@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_static_partition.dir/test_static_partition.cc.o"
+  "CMakeFiles/test_static_partition.dir/test_static_partition.cc.o.d"
+  "test_static_partition"
+  "test_static_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_static_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_util.dir/test_stats_util.cc.o"
+  "CMakeFiles/test_stats_util.dir/test_stats_util.cc.o.d"
+  "test_stats_util"
+  "test_stats_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

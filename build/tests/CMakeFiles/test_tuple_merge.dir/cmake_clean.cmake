@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tuple_merge.dir/test_tuple_merge.cc.o"
+  "CMakeFiles/test_tuple_merge.dir/test_tuple_merge.cc.o.d"
+  "test_tuple_merge"
+  "test_tuple_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tuple_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
