@@ -19,8 +19,8 @@ std::vector<index_t> iota_rows(index_t n) {
 
 double input_transfer(const CsrMatrix& a, const CsrMatrix& b,
                       const HeteroPlatform& platform) {
-  double t = platform.link().matrix_transfer_time(a);
-  if (&a != &b) t += platform.link().matrix_transfer_time(b);
+  double t = platform.link().h2d().matrix_transfer_time(a);
+  if (&a != &b) t += platform.link().h2d().matrix_transfer_time(b);
   return t;
 }
 
@@ -40,7 +40,7 @@ RunResult finish_workqueue_run(const char* name, WorkQueueResult&& queue,
   rep.flops = queue.cpu_stats.flops + queue.gpu_stats.flops;
 
   rep.transfer_out_s =
-      platform.link().tuple_transfer_time(queue.gpu_stats.tuples);
+      platform.link().d2h().tuple_transfer_time(queue.gpu_stats.tuples);
   res.c = merged_coo_to_csr(queue.tuples, pool, &rep.merge);
   rep.phase4_s = platform.cpu().merge_time(rep.merge.tuples_in);
   rep.output_nnz = res.c.nnz();
@@ -85,7 +85,7 @@ RunResult run_hipc2012(const CsrMatrix& a, const CsrMatrix& b,
   // Devices own disjoint row blocks, so "merging ... is straight-forward"
   // (paper §III-D); still, GPU tuples cross PCIe and both blocks are
   // assembled into one CSR.
-  rep.transfer_out_s = platform.link().tuple_transfer_time(gpu_stats.tuples);
+  rep.transfer_out_s = platform.link().d2h().tuple_transfer_time(gpu_stats.tuples);
   CooMatrix all_tuples = std::move(cpu_tuples);
   all_tuples.append(gpu_tuples);
   res.c = merged_coo_to_csr(all_tuples, pool, &rep.merge);
@@ -159,7 +159,7 @@ RunResult run_gpu_only_cusparse(const CsrMatrix& a, const CsrMatrix& b,
   rep.flops = stats.flops;
   res.c = merged_coo_to_csr(tuples, pool, &rep.merge);
   rep.transfer_out_s =
-      platform.link().tuple_transfer_time(static_cast<std::int64_t>(res.c.nnz()));
+      platform.link().d2h().tuple_transfer_time(static_cast<std::int64_t>(res.c.nnz()));
   rep.output_nnz = res.c.nnz();
   rep.total_s = rep.transfer_in_s + rep.phase2_s + rep.transfer_out_s;
   return res;
@@ -179,7 +179,7 @@ RunResult run_gpu_only_hipc_kernel(const CsrMatrix& a, const CsrMatrix& b,
   rep.phase2_s = rep.phase2_gpu_s;
   rep.flops = stats.flops;
   res.c = merged_coo_to_csr(tuples, pool, &rep.merge);
-  rep.transfer_out_s = platform.link().tuple_transfer_time(stats.tuples);
+  rep.transfer_out_s = platform.link().d2h().tuple_transfer_time(stats.tuples);
   rep.output_nnz = res.c.nnz();
   rep.total_s = rep.transfer_in_s + rep.phase2_s + rep.transfer_out_s +
                 platform.cpu().merge_time(rep.merge.tuples_in);

@@ -90,10 +90,10 @@ double predict_csrmm_total(const CsrMatrix& a, index_t dense_cols,
   // next kernel in the chain consumes it there — so neither transfer applies.
   double transfer_in = 0, transfer_out = 0;
   if (gpu_stats.rows > 0 && !already_on_gpu) {
-    transfer_in = platform.link().transfer_time(
+    transfer_in = platform.link().h2d().transfer_time(
         static_cast<double>(a.byte_size()) +
         8.0 * static_cast<double>(a.cols) * dense_cols);
-    transfer_out = platform.link().transfer_time(
+    transfer_out = platform.link().d2h().transfer_time(
         static_cast<double>(gpu_stats.rows) * dense_cols * 8.0);
   }
   return std::max(t_cpu, transfer_in + t_gpu) + transfer_out;
@@ -175,8 +175,9 @@ CsrmmResult run_hh_csrmm(const CsrMatrix& a, const DenseMatrix& b,
   // any rows to work on.
   rep.transfer_in_s =
       (p.low_count() > 0 && !options.matrices_already_on_gpu)
-          ? platform.link().transfer_time(static_cast<double>(a.byte_size()) +
-                                          static_cast<double>(b.byte_size()))
+          ? platform.link().h2d().transfer_time(
+                static_cast<double>(a.byte_size()) +
+                static_cast<double>(b.byte_size()))
           : 0.0;
 
   // Phase II: CPU on A_H×B, GPU on A_L×B (overlapped). Dense-row streaming
@@ -217,7 +218,7 @@ CsrmmResult run_hh_csrmm(const CsrMatrix& a, const DenseMatrix& b,
   // the device for the next kernel in the chain).
   rep.transfer_out_s =
       (gpu_stats.rows > 0 && !options.matrices_already_on_gpu)
-          ? platform.link().transfer_time(
+          ? platform.link().d2h().transfer_time(
                 static_cast<double>(gpu_stats.rows) * b.cols * 8.0)
           : 0.0;
   rep.flops = cpu_stats.flops + gpu_stats.flops;

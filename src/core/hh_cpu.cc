@@ -1,13 +1,16 @@
 #include "core/hh_cpu.hpp"
 
 #include <algorithm>
+#include <utility>
 
-#include "primitives/tuple_merge.hpp"
-#include "sched/chunk.hpp"
+#include "core/hh_stages.hpp"
 #include "util/check.hpp"
 
 namespace hh {
 
+// The serial driver: phases back-to-back, transfers bracketing the compute.
+// The stage bodies live in core/hh_stages.cc so the pipelined runtime
+// (src/runtime/) can schedule the identical work on per-resource timelines.
 RunResult run_hh_cpu(const CsrMatrix& a, const CsrMatrix& b,
                      const HhCpuOptions& options,
                      const HeteroPlatform& platform, ThreadPool& pool) {
@@ -29,52 +32,26 @@ RunResult run_hh_cpu(const CsrMatrix& a, const CsrMatrix& b,
   // (§IV-A: the matrices are not physically split).
   double transfer_in = 0;
   if (!options.matrices_already_on_gpu) {
-    transfer_in = platform.link().matrix_transfer_time(a);
-    if (&a != &b) transfer_in += platform.link().matrix_transfer_time(b);
+    transfer_in = platform.link().h2d().matrix_transfer_time(a);
+    if (&a != &b) transfer_in += platform.link().h2d().matrix_transfer_time(b);
   }
   rep.transfer_in_s = transfer_in;
 
   // ---- Phase II: CPU A_H×B_H ∥ GPU A_L×B_L ----
-  // A product with an empty side contributes nothing; skip it so degenerate
-  // partitions charge no phantom per-row cost.
-  ProductStats hh_stats, ll_stats;
-  CooMatrix hh_tuples(a.rows, b.cols), ll_tuples(a.rows, b.cols);
-  if (plan.a.high_count() > 0 && plan.b.high_count() > 0) {
-    hh_tuples = partial_product_tuples(a, b, plan.a.high_rows, plan.b.is_high,
-                                       true, pool, &hh_stats);
-  }
-  if (plan.a.low_count() > 0 && plan.b.low_count() > 0) {
-    ll_tuples = partial_product_tuples(a, b, plan.a.low_rows, plan.b.is_high,
-                                       false, pool, &ll_stats);
-  }
-  const double t2_cpu = platform.cpu().kernel_time(hh_stats, plan.ws_bh_bytes,
-                                                   true, /*blockable=*/true);
-  const double t2_gpu = platform.gpu().kernel_time(ll_stats);
-  rep.phase2_cpu_s = t2_cpu;
-  rep.phase2_gpu_s = t2_gpu;
-  rep.phase2_s = HeteroPlatform::overlap(t2_cpu, t2_gpu);
+  Phase2Result p2 =
+      run_phase2(a, b, plan, platform, pool, options.workspace);
+  rep.phase2_cpu_s = p2.cpu_s;
+  rep.phase2_gpu_s = p2.gpu_s;
+  rep.phase2_s = HeteroPlatform::overlap(p2.cpu_s, p2.gpu_s);
 
   // ---- Phase III: double-ended workqueue ----
-  // CPU end: A_L×B_H (tag 0). GPU end: A_H×B_L (tag 1). The GPU reaches its
-  // side from the back (§IV-B). A cross product whose B side is empty
-  // contributes nothing and is skipped outright (degenerate partitions on
-  // non-scale-free inputs; §V-B: HH-CPU must not pay for work that is not
-  // there).
-  std::vector<WorkEntry> entries;
-  if (plan.b.high_count() > 0) append_entries(entries, plan.a.low_rows, 0);
-  if (plan.b.low_count() > 0) append_entries(entries, plan.a.high_rows, 1);
-  const MaskSpec masks[2] = {
-      {plan.b.is_high, true, plan.ws_bh_bytes, /*cpu_blockable=*/true},
-      {plan.b.is_high, false, plan.ws_bl_bytes, /*cpu_blockable=*/false},
-  };
-
   // Device clocks entering the queue: both saw Phase I; the GPU also waited
   // for the input transfer before its Phase II kernel.
-  const double cpu_at_queue = rep.phase1_s + t2_cpu;
-  const double gpu_at_queue = rep.phase1_s + transfer_in + t2_gpu;
-  const WorkQueueResult queue =
-      run_workqueue(a, b, entries, masks, options.queue, cpu_at_queue,
-                    gpu_at_queue, platform, pool);
+  const double cpu_at_queue = rep.phase1_s + p2.cpu_s;
+  const double gpu_at_queue = rep.phase1_s + transfer_in + p2.gpu_s;
+  WorkQueueResult queue =
+      run_phase3(a, b, plan, options.queue, cpu_at_queue, gpu_at_queue,
+                 platform, pool, options.workspace);
   rep.phase3_cpu_s = queue.cpu_busy;
   rep.phase3_gpu_s = queue.gpu_busy;
   rep.phase3_s = HeteroPlatform::overlap(queue.cpu_busy, queue.gpu_busy);
@@ -84,19 +61,20 @@ RunResult run_hh_cpu(const CsrMatrix& a, const CsrMatrix& b,
   // ---- Phase IV: merge all tuples; GPU partials cross PCIe first ----
   // (the transfer is Algorithm 1's separate "GPU -> CPU::" step, line 10,
   // and is reported outside the Phase IV time as in Fig. 7).
-  const std::int64_t gpu_tuples = ll_stats.tuples + queue.gpu_stats.tuples;
-  rep.transfer_out_s = platform.link().tuple_transfer_time(gpu_tuples);
-
-  CooMatrix all = std::move(hh_tuples);
-  all.append(ll_tuples);
-  all.append(queue.tuples);
-  res.c = merged_coo_to_csr(all, pool, &rep.merge);
-  rep.phase4_s = platform.cpu().merge_time(rep.merge.tuples_in);
-
-  rep.flops = hh_stats.flops + ll_stats.flops + queue.cpu_stats.flops +
+  const std::int64_t gpu_tuples = p2.ll_stats.tuples + queue.gpu_stats.tuples;
+  rep.transfer_out_s = platform.link().d2h().tuple_transfer_time(gpu_tuples);
+  rep.flops = p2.hh_stats.flops + p2.ll_stats.flops + queue.cpu_stats.flops +
               queue.gpu_stats.flops;
+  const double queue_end = queue.end_time();
+
+  MergeResult merged = run_phase4(std::move(p2), std::move(queue), platform,
+                                  pool, options.workspace);
+  res.c = std::move(merged.c);
+  rep.merge = merged.merge;
+  rep.phase4_s = merged.cpu_s;
+
   rep.output_nnz = res.c.nnz();
-  rep.total_s = queue.end_time() + rep.transfer_out_s + rep.phase4_s;
+  rep.total_s = queue_end + rep.transfer_out_s + rep.phase4_s;
   return res;
 }
 

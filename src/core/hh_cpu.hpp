@@ -18,6 +18,7 @@
 #include "device/platform.hpp"
 #include "sched/workqueue.hpp"
 #include "sparse/csr.hpp"
+#include "spgemm/workspace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace hh {
@@ -27,6 +28,7 @@ struct HhCpuOptions {
   offset_t threshold_b = 0;
   WorkQueueConfig queue;
   bool matrices_already_on_gpu = false;  // skip the input transfer charge
+  WorkspacePool* workspace = nullptr;    // optional accumulator/buffer pool
 };
 
 /// Run Algorithm HH-CPU for C = A × B. When &a == &b (the paper multiplies

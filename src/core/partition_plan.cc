@@ -23,9 +23,11 @@ PartitionPlan make_partition_plan(const CsrMatrix& a, const CsrMatrix& b,
   // histogram pass on the CPU for the threshold identification itself.
   const std::int64_t rows =
       static_cast<std::int64_t>(a.rows) + static_cast<std::int64_t>(b.rows);
-  plan.phase1_s = platform.link().transfer_time(4.0 * static_cast<double>(rows)) +
-                  platform.gpu().classify_time(rows) +
-                  platform.cpu().classify_time(rows);
+  plan.classify_s =
+      platform.link().h2d().transfer_time(4.0 * static_cast<double>(rows)) +
+      platform.gpu().classify_time(rows);
+  plan.identify_s = platform.cpu().classify_time(rows);
+  plan.phase1_s = plan.identify_s + plan.classify_s;
   return plan;
 }
 

@@ -14,7 +14,13 @@ namespace hh {
 struct PartitionPlan {
   RowPartition a;
   RowPartition b;
-  double phase1_s = 0;      // classification + row-size transfer
+  // phase1_s = identify_s + classify_s. The split matters to the runtime's
+  // partition-plan cache: a cache hit reuses the thresholds and skips the
+  // identification pass but still pays the per-request classification
+  // (row sizes shipped, Boolean arrays built).
+  double phase1_s = 0;
+  double identify_s = 0;    // CPU histogram scan / threshold identification
+  double classify_s = 0;    // row-size transfer + GPU Boolean-array build
   double ws_bh_bytes = 0;   // working set of B_H (12 bytes / nnz)
   double ws_bl_bytes = 0;   // working set of B_L
   double ws_b_bytes = 0;    // all of B

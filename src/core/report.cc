@@ -12,6 +12,29 @@ std::string ms(double seconds) {
   return buf;
 }
 
+std::string jnum(double x) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", x);
+  return buf;
+}
+
+// Algorithm names are plain ASCII, but escape the JSON specials anyway.
+std::string jstr(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
 }  // namespace
 
 std::string RunReport::to_string() const {
@@ -30,6 +53,32 @@ std::string RunReport::to_string() const {
   os << "  transfers in " << ms(transfer_in_s) << ", out "
      << ms(transfer_out_s) << "\n";
   os << "  flops " << flops << ", output nnz " << output_nnz << "\n";
+  return os.str();
+}
+
+std::string RunReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"algorithm\":" << jstr(algorithm)
+     << ",\"total_s\":" << jnum(total_s)
+     << ",\"phase1_s\":" << jnum(phase1_s)
+     << ",\"phase2_s\":" << jnum(phase2_s)
+     << ",\"phase3_s\":" << jnum(phase3_s)
+     << ",\"phase4_s\":" << jnum(phase4_s)
+     << ",\"transfer_in_s\":" << jnum(transfer_in_s)
+     << ",\"transfer_out_s\":" << jnum(transfer_out_s)
+     << ",\"phase2_cpu_s\":" << jnum(phase2_cpu_s)
+     << ",\"phase2_gpu_s\":" << jnum(phase2_gpu_s)
+     << ",\"phase3_cpu_s\":" << jnum(phase3_cpu_s)
+     << ",\"phase3_gpu_s\":" << jnum(phase3_gpu_s)
+     << ",\"threshold_a\":" << threshold_a
+     << ",\"threshold_b\":" << threshold_b
+     << ",\"high_rows_a\":" << high_rows_a
+     << ",\"high_rows_b\":" << high_rows_b << ",\"flops\":" << flops
+     << ",\"output_nnz\":" << output_nnz
+     << ",\"merge_tuples_in\":" << merge.tuples_in
+     << ",\"merge_tuples_out\":" << merge.tuples_out
+     << ",\"queue_cpu_units\":" << queue_cpu_units
+     << ",\"queue_gpu_units\":" << queue_gpu_units << "}";
   return os.str();
 }
 

@@ -38,6 +38,10 @@ struct RunReport {
 
   /// Multi-line human-readable rendering.
   std::string to_string() const;
+
+  /// Single JSON object (one line, no trailing newline) with every field
+  /// above — machine-readable counterpart of to_string() for benches.
+  std::string to_json() const;
 };
 
 struct RunResult {

@@ -53,8 +53,8 @@ double predict_total_time(const CsrMatrix& a, const CsrMatrix& b, offset_t t,
   // The GPU only waits for the input transfer if this threshold gives it
   // any work at all; a CPU-only partition skips the link entirely.
   if (ll.flops > 0 || pa.high_count() < a.rows || pb.high_count() < b.rows) {
-    double transfer_in = platform.link().matrix_transfer_time(a);
-    if (&a != &b) transfer_in += platform.link().matrix_transfer_time(b);
+    double transfer_in = platform.link().h2d().matrix_transfer_time(a);
+    if (&a != &b) transfer_in += platform.link().h2d().matrix_transfer_time(b);
     t2_gpu += transfer_in;
   }
   const double t2 = HeteroPlatform::overlap(t2_cpu, t2_gpu);
@@ -90,7 +90,7 @@ double predict_total_time(const CsrMatrix& a, const CsrMatrix& b, offset_t t,
   const double t4 = platform.cpu().merge_time(tuples);
   double gpu_tuples = static_cast<double>(ll.tuples);
   if (t3_gpu > 0) gpu_tuples += static_cast<double>(p3.tuples) * t3 / t3_gpu;
-  const double t_out = platform.link().transfer_time(16.0 * gpu_tuples);
+  const double t_out = platform.link().d2h().transfer_time(16.0 * gpu_tuples);
   return t2 + t3 + t4 + t_out;
 }
 

@@ -2,16 +2,16 @@
 
 namespace hh {
 
-double PcieLink::transfer_time(double bytes) const {
+double PcieChannel::transfer_time(double bytes) const {
   if (bytes <= 0) return 0.0;
   return cm_.latency_s + bytes / (cm_.bw_gbps * 1e9 * cm_.efficiency);
 }
 
-double PcieLink::matrix_transfer_time(const CsrMatrix& m) const {
+double PcieChannel::matrix_transfer_time(const CsrMatrix& m) const {
   return transfer_time(static_cast<double>(m.byte_size()));
 }
 
-double PcieLink::tuple_transfer_time(std::int64_t n) const {
+double PcieChannel::tuple_transfer_time(std::int64_t n) const {
   return transfer_time(16.0 * static_cast<double>(n));
 }
 

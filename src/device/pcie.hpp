@@ -1,5 +1,13 @@
 // PCIe 2.0 ×16 link between host and device (paper §II-B: 8 GB/s nominal;
 // §IV-A: ~25–30 ms to ship a ~5 M-nnz matrix).
+//
+// PCIe is full duplex: the host→device (H2D) and device→host (D2H)
+// directions are independent lanes that can stream concurrently. The link is
+// therefore modelled as two separately-clocked PcieChannel objects; the
+// pipelined runtime (src/runtime/) schedules them on two distinct resource
+// timelines so one request's input upload can overlap another's result
+// download. The sequential driver keeps charging each transfer on the
+// channel that direction uses — same per-transfer times as the seed model.
 #pragma once
 
 #include <cstdint>
@@ -9,9 +17,10 @@
 
 namespace hh {
 
-class PcieLink {
+/// One direction of the link: latency + bandwidth + efficiency.
+class PcieChannel {
  public:
-  explicit PcieLink(const PcieCostModel& cm) : cm_(cm) {}
+  explicit PcieChannel(const PcieCostModel& cm) : cm_(cm) {}
 
   double transfer_time(double bytes) const;
 
@@ -25,6 +34,34 @@ class PcieLink {
 
  private:
   PcieCostModel cm_;
+};
+
+/// The full-duplex link: an H2D channel and a D2H channel with independent
+/// clocks. Both directions share the PcieCostModel parameters (PCIe lanes
+/// are symmetric).
+class PcieLink {
+ public:
+  explicit PcieLink(const PcieCostModel& cm) : h2d_(cm), d2h_(cm) {}
+
+  const PcieChannel& h2d() const { return h2d_; }
+  const PcieChannel& d2h() const { return d2h_; }
+
+  /// Direction-agnostic helpers for callers that charge a transfer without
+  /// scheduling it on a channel timeline (single-request drivers, benches).
+  /// Uploads go H2D; tuple results come back D2H.
+  double transfer_time(double bytes) const { return h2d_.transfer_time(bytes); }
+  double matrix_transfer_time(const CsrMatrix& m) const {
+    return h2d_.matrix_transfer_time(m);
+  }
+  double tuple_transfer_time(std::int64_t n) const {
+    return d2h_.tuple_transfer_time(n);
+  }
+
+  const PcieCostModel& model() const { return h2d_.model(); }
+
+ private:
+  PcieChannel h2d_;
+  PcieChannel d2h_;
 };
 
 }  // namespace hh

@@ -1,0 +1,43 @@
+#include "runtime/plan_cache.hpp"
+
+#include "util/check.hpp"
+
+namespace hh {
+
+PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity) {
+  HH_CHECK_MSG(capacity > 0, "plan cache capacity must be positive");
+}
+
+std::optional<CachedPlan> PlanCache::lookup(const PlanKey& key) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->second;
+}
+
+void PlanCache::insert(const PlanKey& key, CachedPlan plan) {
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->second = plan;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    ++stats_.evictions;
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+  lru_.emplace_front(key, plan);
+  map_.emplace(key, lru_.begin());
+}
+
+void PlanCache::clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace hh

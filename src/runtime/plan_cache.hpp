@@ -1,0 +1,79 @@
+// Partition-plan cache: signature pair → identified thresholds.
+//
+// Threshold identification is the only part of Phase I whose result is a
+// pure function of the operands' sparsity structure, so the service caches
+// it keyed by (signature(A), signature(B)). A hit skips the identification
+// pass (host work and simulated CPU time); the per-request classification —
+// building the Boolean H/L arrays for the actual matrices — is always
+// re-run, so a hit yields exactly the plan a cold run would have produced
+// and the output matrix stays bit-identical.
+//
+// Bounded LRU: the cache holds at most `capacity` plans; inserting beyond
+// that evicts the least-recently-used entry (lookups refresh recency).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "runtime/signature.hpp"
+#include "sparse/types.hpp"
+
+namespace hh {
+
+struct PlanKey {
+  MatrixSignature a;
+  MatrixSignature b;
+
+  bool operator==(const PlanKey&) const = default;
+};
+
+struct PlanKeyHash {
+  std::size_t operator()(const PlanKey& k) const {
+    const MatrixSignatureHash h;
+    // Boost-style mix so (a, b) and (b, a) hash differently.
+    const std::size_t ha = h(k.a);
+    return ha ^ (h(k.b) + 0x9e3779b97f4a7c15ull + (ha << 6) + (ha >> 2));
+  }
+};
+
+/// The cached decision: the identified thresholds for C = A×B.
+struct CachedPlan {
+  offset_t threshold_a = 0;
+  offset_t threshold_b = 0;
+};
+
+class PlanCache {
+ public:
+  struct Stats {
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t evictions = 0;
+  };
+
+  explicit PlanCache(std::size_t capacity = 64);
+
+  /// nullopt on miss; a hit refreshes the entry's recency.
+  std::optional<CachedPlan> lookup(const PlanKey& key);
+
+  /// Insert or overwrite; evicts the LRU entry when at capacity.
+  void insert(const PlanKey& key, CachedPlan plan);
+
+  std::size_t size() const { return map_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  const Stats& stats() const { return stats_; }
+  void clear();
+
+ private:
+  using LruList = std::list<std::pair<PlanKey, CachedPlan>>;
+
+  std::size_t capacity_;
+  LruList lru_;  // front = most recent
+  std::unordered_map<PlanKey, LruList::iterator, PlanKeyHash> map_;
+  Stats stats_;
+};
+
+}  // namespace hh

@@ -1,0 +1,142 @@
+// SpgemmService: a pipelined multi-query SpGEMM execution engine.
+//
+// The one-shot driver (run_hh_cpu) charges each request serially:
+// transfer → compute → transfer. A service under sustained traffic does
+// better: while request k computes, request k+1's operands are already
+// crossing the H2D channel and its Phase I analysis can run in a CPU idle
+// window; request k's result tuples cross D2H while k+1 occupies the GPU.
+// drain() schedules each request's stages (core/hh_stages.hpp) on four
+// independently-clocked resource timelines — CPU, GPU, H2D, D2H — with
+// dependence-respecting insertion scheduling (runtime/timeline.hpp).
+//
+// Steady-state accelerators, all optional and all output-preserving:
+//  - partition-plan cache keyed by sparsity signatures (runtime/plan_cache)
+//    — a hit skips threshold identification;
+//  - operand residency — a matrix already uploaded in this service's
+//    lifetime is not re-shipped (device memory is retained across requests);
+//  - workspace pooling (spgemm/workspace.hpp) — SPA accumulators and tuple
+//    buffers are recycled instead of reallocated per request.
+//
+// Every request's output matrix is bit-identical to what a cold, serial
+// run_hh_cpu call produces; only the clock bookkeeping differs. Submitted
+// matrices must stay alive and unmodified until drain() returns.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/hh_cpu.hpp"
+#include "core/report.hpp"
+#include "device/platform.hpp"
+#include "runtime/plan_cache.hpp"
+#include "runtime/timeline.hpp"
+#include "sparse/csr.hpp"
+#include "spgemm/workspace.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hh {
+
+struct SpgemmRequest {
+  const CsrMatrix* a = nullptr;
+  const CsrMatrix* b = nullptr;  // nullptr = self product (B is A)
+  HhCpuOptions options;          // explicit thresholds bypass the plan cache
+  std::string label;
+};
+
+/// Per-request accounting: the familiar RunReport (phase durations) plus the
+/// pipeline view — queue wait, absolute stage spans, cache/residency flags.
+struct RequestReport {
+  RunReport run;  // run.total_s is the request latency
+  std::size_t request_id = 0;
+  std::string label;
+  bool plan_cache_hit = false;
+  bool inputs_resident = false;  // no bytes crossed H2D for this request
+  double submit_s = 0;
+  double start_s = 0;       // first stage begins
+  double finish_s = 0;      // merge ends
+  double queue_wait_s = 0;  // start_s - submit_s
+  double latency_s = 0;     // finish_s - submit_s
+  std::vector<StageSpan> spans;
+
+  std::string to_string() const;
+  std::string to_json() const;
+};
+
+/// Batch-level accounting across one drain().
+struct BatchReport {
+  std::size_t requests = 0;
+  double makespan_s = 0;             // last finish over all requests
+  double sequential_estimate_s = 0;  // first-order back-to-back serial cost
+                                     // of the same work (cold transfers,
+                                     // cold identification)
+  double p50_latency_s = 0;
+  double p95_latency_s = 0;
+  double p99_latency_s = 0;
+  double cpu_busy_s = 0;  // occupied time per resource timeline
+  double gpu_busy_s = 0;
+  double h2d_busy_s = 0;
+  double d2h_busy_s = 0;
+  PlanCache::Stats plan_cache;
+  WorkspacePool::Stats workspace;
+
+  std::string to_string() const;
+  std::string to_json() const;
+};
+
+struct BatchResult {
+  std::vector<RunResult> results;  // submit order; results[i].report is the
+                                   // same RunReport as requests[i].run
+  std::vector<RequestReport> requests;
+  BatchReport batch;
+};
+
+class SpgemmService {
+ public:
+  struct Config {
+    std::size_t plan_cache_capacity = 64;
+    bool keep_inputs_resident = true;  // uploaded operands stay on the device
+    bool use_workspace_pool = true;
+  };
+
+  SpgemmService(const HeteroPlatform& platform, ThreadPool& pool,
+                Config config);
+  SpgemmService(const HeteroPlatform& platform, ThreadPool& pool)
+      : SpgemmService(platform, pool, Config{}) {}
+
+  /// Enqueue; returns the request id (drain-order index). The matrices must
+  /// outlive the next drain() and must not be modified.
+  std::size_t submit(SpgemmRequest request);
+
+  std::size_t pending() const { return queue_.size(); }
+
+  /// Execute every pending request over the pipelined timelines. Requests
+  /// are admitted FIFO; stages are placed by the insertion scheduler.
+  BatchResult drain();
+
+  PlanCache& plan_cache() { return plan_cache_; }
+  WorkspacePool& workspace_pool() { return workspace_; }
+
+  /// Drop device residency and cached host-side signatures (e.g. after the
+  /// caller mutated or freed previously-submitted matrices).
+  void invalidate_inputs();
+
+ private:
+  const MatrixSignature& signature_of(const CsrMatrix* m);
+
+  const HeteroPlatform& platform_;
+  ThreadPool& pool_;
+  Config config_;
+  PlanCache plan_cache_;
+  WorkspacePool workspace_;
+  std::vector<SpgemmRequest> queue_;
+  std::size_t next_id_ = 0;
+  // Host-side memos, keyed by operand identity (see submit() contract).
+  std::unordered_map<const CsrMatrix*, MatrixSignature> signatures_;
+  std::unordered_set<const CsrMatrix*> resident_;
+};
+
+}  // namespace hh

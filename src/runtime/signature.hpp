@@ -1,0 +1,43 @@
+// Sparsity signature: the key of the runtime's partition-plan cache.
+//
+// Threshold identification (Phase I of HH-CPU) depends only on the row-size
+// *distribution* of the operands — exactly the quantities the paper keys its
+// analysis on: rows, nnz, the fitted power-law exponent α (Table I), and the
+// row-density histogram shape (Fig. 1/5). Two matrices with identical
+// signatures are structurally identical for planning purposes, so a service
+// stream that repeatedly multiplies the same (or same-shaped) matrices can
+// reuse the identified thresholds instead of re-running the sweep.
+//
+// The digest folds the full log2 row-size histogram, so any change to the
+// degree distribution — not just to the aggregate (rows, nnz, α) — produces
+// a different key.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace hh {
+
+struct MatrixSignature {
+  index_t rows = 0;
+  index_t cols = 0;
+  std::int64_t nnz = 0;
+  std::int64_t alpha_milli = 0;     // fitted α × 1000, rounded (0 = no tail)
+  std::uint64_t degree_digest = 0;  // FNV-1a over the log2 row-size histogram
+
+  bool operator==(const MatrixSignature&) const = default;
+};
+
+/// Deterministic: the same matrix always produces the same signature.
+MatrixSignature matrix_signature(const CsrMatrix& m);
+
+std::string to_string(const MatrixSignature& s);
+
+struct MatrixSignatureHash {
+  std::size_t operator()(const MatrixSignature& s) const;
+};
+
+}  // namespace hh

@@ -1,0 +1,101 @@
+// Independently-clocked resource timelines for the pipelined runtime.
+//
+// The simulated platform has four channels that can make progress
+// concurrently: the CPU, the GPU, and the two directions of the full-duplex
+// PCIe link. DESIGN.md's single overlap() accounting collapses them into one
+// request-local clock; the runtime instead keeps one ResourceTimeline per
+// channel so stages of *different* requests overlap wherever their
+// dependences allow (software pipelining).
+//
+// reserve() is an insertion scheduler: a stage is placed into the earliest
+// idle window on its resource that fits entirely and starts no earlier than
+// its dependences allow — so, e.g., request k+1's Phase I analysis can run
+// on the CPU inside the window where request k's tuples are still crossing
+// the D2H channel. Everything is deterministic.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+namespace hh {
+
+enum class Resource { kCpu = 0, kGpu = 1, kH2D = 2, kD2H = 3 };
+inline constexpr int kResourceCount = 4;
+
+inline const char* to_string(Resource r) {
+  switch (r) {
+    case Resource::kCpu: return "cpu";
+    case Resource::kGpu: return "gpu";
+    case Resource::kH2D: return "h2d";
+    case Resource::kD2H: return "d2h";
+  }
+  return "?";
+}
+
+/// One scheduled occupancy of a resource.
+struct StageSpan {
+  const char* stage = "";  // static stage name
+  Resource resource = Resource::kCpu;
+  double start_s = 0;
+  double end_s = 0;
+
+  double duration_s() const { return end_s - start_s; }
+};
+
+class ResourceTimeline {
+ public:
+  explicit ResourceTimeline(Resource r = Resource::kCpu) : resource_(r) {}
+
+  /// Clock after the last scheduled stage.
+  double now() const { return now_; }
+
+  /// Total occupied time (excludes idle windows).
+  double busy() const { return busy_; }
+
+  /// Schedule a stage of `duration` seconds starting no earlier than
+  /// `earliest`: placed into the first idle window that fits, else appended
+  /// at the end (recording the idle window this opens, if any). A
+  /// non-positive duration occupies nothing and returns a zero-length span
+  /// at `earliest`.
+  StageSpan reserve(const char* stage, double earliest, double duration) {
+    if (duration <= 0) {
+      return {stage, resource_, earliest, earliest};
+    }
+    for (std::size_t i = 0; i < gaps_.size(); ++i) {
+      const double start = std::max(gaps_[i].start, earliest);
+      if (start + duration <= gaps_[i].end) {
+        const Gap g = gaps_[i];
+        gaps_.erase(gaps_.begin() + static_cast<std::ptrdiff_t>(i));
+        if (g.start < start) {
+          gaps_.insert(gaps_.begin() + static_cast<std::ptrdiff_t>(i),
+                       Gap{g.start, start});
+          ++i;
+        }
+        if (start + duration < g.end) {
+          gaps_.insert(gaps_.begin() + static_cast<std::ptrdiff_t>(i),
+                       Gap{start + duration, g.end});
+        }
+        busy_ += duration;
+        return {stage, resource_, start, start + duration};
+      }
+    }
+    const double start = std::max(now_, earliest);
+    if (start > now_) gaps_.push_back({now_, start});
+    now_ = start + duration;
+    busy_ += duration;
+    return {stage, resource_, start, now_};
+  }
+
+ private:
+  struct Gap {
+    double start;
+    double end;
+  };
+
+  Resource resource_;
+  std::vector<Gap> gaps_;  // idle windows, ascending, disjoint
+  double now_ = 0;
+  double busy_ = 0;
+};
+
+}  // namespace hh

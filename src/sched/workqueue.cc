@@ -12,7 +12,8 @@ namespace {
 void run_unit(const CsrMatrix& a, const CsrMatrix& b,
               std::span<const WorkEntry> unit,
               std::span<const MaskSpec> masks, ThreadPool& pool,
-              CooMatrix& tuples_out, ProductStats& unit_stats,
+              WorkspacePool* workspace, CooMatrix& tuples_out,
+              ProductStats& unit_stats,
               std::vector<ProductStats>& per_tag_stats) {
   std::vector<index_t> rows;
   rows.reserve(unit.size());
@@ -25,9 +26,11 @@ void run_unit(const CsrMatrix& a, const CsrMatrix& b,
     }
     const MaskSpec& mask = masks[static_cast<std::size_t>(tag)];
     ProductStats stats;
-    CooMatrix tuples = partial_product_tuples(a, b, rows, mask.b_mask,
-                                              mask.b_mask_value, pool, &stats);
+    CooMatrix tuples =
+        partial_product_tuples(a, b, rows, mask.b_mask, mask.b_mask_value,
+                               pool, &stats, workspace);
     tuples_out.append(tuples);
+    if (workspace != nullptr) workspace->release_coo(std::move(tuples));
     unit_stats.accumulate(stats);
     per_tag_stats[static_cast<std::size_t>(tag)].accumulate(stats);
   }
@@ -62,10 +65,18 @@ bool unit_blockable(std::span<const MaskSpec> masks,
 
 WorkQueueConfig resolve_queue_config(WorkQueueConfig cfg, index_t a_rows) {
   if (cfg.cpu_rows <= 0) {
+    // The 16-row floor must itself bend for tiny instances: a matrix with
+    // fewer than 16 rows gets a unit of its own size (min 1) so the auto
+    // pick can never exceed a_rows or round a unit down to zero.
+    const std::int64_t floor_rows =
+        std::max<std::int64_t>(1, std::min<std::int64_t>(16, a_rows));
     cfg.cpu_rows = static_cast<index_t>(
-        std::clamp<std::int64_t>(a_rows / 160, 16, 1000));
+        std::clamp<std::int64_t>(a_rows / 160, floor_rows, 1000));
   }
-  if (cfg.gpu_rows <= 0) cfg.gpu_rows = cfg.cpu_rows * 10;
+  if (cfg.gpu_rows <= 0) {
+    cfg.gpu_rows = static_cast<index_t>(
+        std::max<std::int64_t>(1, std::int64_t{10} * cfg.cpu_rows));
+  }
   return cfg;
 }
 
@@ -75,7 +86,7 @@ WorkQueueResult run_workqueue(const CsrMatrix& a, const CsrMatrix& b,
                               const WorkQueueConfig& cfg_in, double cpu_start,
                               double gpu_start,
                               const HeteroPlatform& platform,
-                              ThreadPool& pool) {
+                              ThreadPool& pool, WorkspacePool* workspace) {
   const WorkQueueConfig cfg = resolve_queue_config(cfg_in, a.rows);
   HH_CHECK(cfg.cpu_rows > 0 && cfg.gpu_rows > 0);
   for (const WorkEntry& e : entries) {
@@ -101,7 +112,8 @@ WorkQueueResult run_workqueue(const CsrMatrix& a, const CsrMatrix& b,
       front += n;
       for (auto& d : tag_delta) d = ProductStats{};
       ProductStats stats;
-      run_unit(a, b, unit, masks, pool, res.tuples, stats, tag_delta);
+      run_unit(a, b, unit, masks, pool, workspace, res.tuples, stats,
+               tag_delta);
       const double ws = unit_ws_bytes(masks, tag_delta);
       const bool blockable = unit_blockable(masks, tag_delta);
       const double t =
@@ -119,7 +131,8 @@ WorkQueueResult run_workqueue(const CsrMatrix& a, const CsrMatrix& b,
       back -= n;
       for (auto& d : tag_delta) d = ProductStats{};
       ProductStats stats;
-      run_unit(a, b, unit, masks, pool, res.tuples, stats, tag_delta);
+      run_unit(a, b, unit, masks, pool, workspace, res.tuples, stats,
+               tag_delta);
       const double t = platform.gpu().kernel_time(stats) + cfg.gpu_dequeue_s;
       res.gpu_busy += t;
       res.gpu_end += t;

@@ -66,20 +66,25 @@ struct WorkQueueResult {
   double end_time() const { return std::max(cpu_end, gpu_end); }
 };
 
-/// Resolve auto (0) unit sizes against the instance size.
+/// Resolve auto (0) unit sizes against the instance size. Guarantees
+/// 1 <= cpu_rows and 1 <= gpu_rows for every a_rows >= 0, and never picks an
+/// auto cpu_rows larger than the instance itself (tiny matrices get
+/// single-digit units instead of the 16-row floor).
 WorkQueueConfig resolve_queue_config(WorkQueueConfig cfg, index_t a_rows);
 
 /// Run the queue to empty. `entries` is ordered CPU-end-first; masks[tag]
 /// resolves each entry's B view. Device clocks start at cpu_start/gpu_start
 /// (they may differ: a device joins the queue when its Phase II product is
 /// done). Unit sizes of 0 are resolved via resolve_queue_config().
-/// Deterministic.
+/// Deterministic. `workspace` optionally pools the kernels' accumulators and
+/// tuple buffers (see spgemm/workspace.hpp).
 WorkQueueResult run_workqueue(const CsrMatrix& a, const CsrMatrix& b,
                               std::span<const WorkEntry> entries,
                               std::span<const MaskSpec> masks,
                               const WorkQueueConfig& cfg, double cpu_start,
                               double gpu_start,
                               const HeteroPlatform& platform,
-                              ThreadPool& pool);
+                              ThreadPool& pool,
+                              WorkspacePool* workspace = nullptr);
 
 }  // namespace hh

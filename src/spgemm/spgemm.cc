@@ -73,13 +73,15 @@ namespace {
 void partial_rows(const CsrMatrix& a, const CsrMatrix& b,
                   std::span<const index_t> a_rows,
                   std::span<const std::uint8_t> b_mask, bool b_mask_value,
-                  std::size_t lo, std::size_t hi, CooMatrix& out,
-                  ProductStats& stats) {
-  std::vector<value_t> acc(static_cast<std::size_t>(b.cols), value_t{0});
-  std::vector<index_t> marker(static_cast<std::size_t>(b.cols), -1);
-  std::vector<index_t> cols;
+                  std::size_t lo, std::size_t hi, SpaWorkspace& ws,
+                  CooMatrix& out, ProductStats& stats) {
+  ws.begin_product(b.cols);
+  std::vector<value_t>& acc = ws.acc;
+  std::vector<std::int64_t>& marker = ws.marker;
+  std::vector<index_t>& cols = ws.cols_touched;
   for (std::size_t idx = lo; idx < hi; ++idx) {
     const index_t i = a_rows[idx];
+    const std::int64_t tag = ws.row_tag(i);
     cols.clear();
     std::int64_t row_flops = 0;
     for (offset_t k = a.indptr[i]; k < a.indptr[i + 1]; ++k) {
@@ -93,8 +95,8 @@ void partial_rows(const CsrMatrix& a, const CsrMatrix& b,
       stats.b_read_bytes += (blen * 12 + 31) / 32 * 32;
       for (offset_t l = b.indptr[j]; l < b.indptr[j + 1]; ++l) {
         const index_t col = b.indices[l];
-        if (marker[col] != i) {
-          marker[col] = i;
+        if (marker[col] != tag) {
+          marker[col] = tag;
           acc[col] = value_t{0};
           cols.push_back(col);
         }
@@ -122,7 +124,8 @@ CooMatrix partial_product_tuples(const CsrMatrix& a, const CsrMatrix& b,
                                  std::span<const index_t> a_rows,
                                  std::span<const std::uint8_t> b_mask,
                                  bool b_mask_value, ThreadPool& pool,
-                                 ProductStats* stats) {
+                                 ProductStats* stats,
+                                 WorkspacePool* workspace) {
   HH_CHECK_MSG(a.cols == b.rows, "incompatible shapes for product");
   HH_CHECK(b_mask.empty() ||
            b_mask.size() == static_cast<std::size_t>(b.rows));
@@ -135,22 +138,33 @@ CooMatrix partial_product_tuples(const CsrMatrix& a, const CsrMatrix& b,
   const std::int64_t chunk = n == 0 ? 1 : (n + blocks - 1) / blocks;
   const std::int64_t nblocks = n == 0 ? 0 : (n + chunk - 1) / chunk;
 
-  std::vector<CooMatrix> block_out(static_cast<std::size_t>(nblocks),
-                                   CooMatrix(a.rows, b.cols));
+  std::vector<CooMatrix> block_out;
+  block_out.reserve(static_cast<std::size_t>(nblocks));
+  for (std::int64_t blk = 0; blk < nblocks; ++blk) {
+    block_out.push_back(workspace != nullptr
+                            ? workspace->acquire_coo(a.rows, b.cols)
+                            : CooMatrix(a.rows, b.cols));
+  }
   std::vector<ProductStats> block_stats(static_cast<std::size_t>(nblocks));
 
   pool.parallel_for(nblocks, [&](std::int64_t b0, std::int64_t b1) {
+    // One SPA workspace per worker slice; pooled when a pool is supplied.
+    std::unique_ptr<SpaWorkspace> ws = workspace != nullptr
+                                           ? workspace->acquire_spa()
+                                           : std::make_unique<SpaWorkspace>();
     for (std::int64_t blk = b0; blk < b1; ++blk) {
       const auto lo = static_cast<std::size_t>(blk * chunk);
       const auto hi = static_cast<std::size_t>(std::min(n, (blk + 1) * chunk));
-      partial_rows(a, b, a_rows, b_mask, b_mask_value, lo, hi,
+      partial_rows(a, b, a_rows, b_mask, b_mask_value, lo, hi, *ws,
                    block_out[blk], block_stats[blk]);
     }
+    if (workspace != nullptr) workspace->release_spa(std::move(ws));
   });
 
   // Concatenate in block order → deterministic output independent of the
   // number of pool threads.
-  CooMatrix out(a.rows, b.cols);
+  CooMatrix out = workspace != nullptr ? workspace->acquire_coo(a.rows, b.cols)
+                                       : CooMatrix(a.rows, b.cols);
   std::size_t total = 0;
   for (const auto& blk : block_out) total += blk.nnz();
   out.reserve(total);
@@ -158,6 +172,7 @@ CooMatrix partial_product_tuples(const CsrMatrix& a, const CsrMatrix& b,
   for (std::int64_t blk = 0; blk < nblocks; ++blk) {
     out.append(block_out[blk]);
     agg.accumulate(block_stats[blk]);
+    if (workspace != nullptr) workspace->release_coo(std::move(block_out[blk]));
   }
   if (stats != nullptr) *stats = agg;
   return out;

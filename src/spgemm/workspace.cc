@@ -1,0 +1,71 @@
+#include "spgemm/workspace.hpp"
+
+#include <algorithm>
+
+namespace hh {
+
+void SpaWorkspace::begin_product(index_t cols) {
+  const auto n = static_cast<std::size_t>(cols);
+  // Generation 0 is reserved so row_tag() can never collide with the -1
+  // fill of fresh marker entries; wrap long before the 31-bit field packs.
+  if (++generation_ >= (std::int64_t{1} << 30)) {
+    generation_ = 1;
+    std::fill(marker.begin(), marker.end(), std::int64_t{-1});
+  }
+  if (acc.size() < n) {
+    acc.resize(n, value_t{0});
+    marker.resize(n, std::int64_t{-1});
+  }
+  cols_touched.clear();
+}
+
+std::unique_ptr<SpaWorkspace> WorkspacePool::acquire_spa() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.spa_acquires;
+  ++stats_.spa_live;
+  if (!free_spa_.empty()) {
+    ++stats_.spa_reuses;
+    auto ws = std::move(free_spa_.back());
+    free_spa_.pop_back();
+    return ws;
+  }
+  return std::make_unique<SpaWorkspace>();
+}
+
+void WorkspacePool::release_spa(std::unique_ptr<SpaWorkspace> ws) {
+  if (ws == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  --stats_.spa_live;
+  free_spa_.push_back(std::move(ws));
+}
+
+CooMatrix WorkspacePool::acquire_coo(index_t rows, index_t cols) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.coo_acquires;
+  ++stats_.coo_live;
+  if (!free_coo_.empty()) {
+    ++stats_.coo_reuses;
+    CooMatrix coo = std::move(free_coo_.back());
+    free_coo_.pop_back();
+    coo.rows = rows;
+    coo.cols = cols;
+    coo.r.clear();
+    coo.c.clear();
+    coo.v.clear();
+    return coo;
+  }
+  return CooMatrix(rows, cols);
+}
+
+void WorkspacePool::release_coo(CooMatrix&& coo) {
+  std::lock_guard<std::mutex> lock(mu_);
+  --stats_.coo_live;
+  free_coo_.push_back(std::move(coo));
+}
+
+WorkspacePool::Stats WorkspacePool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace hh

@@ -29,6 +29,35 @@ TEST(Report, ToStringContainsKeyFields) {
   EXPECT_NE(s.find("output nnz 900"), std::string::npos);
 }
 
+TEST(Report, ToJsonRoundTripsKeyFields) {
+  RunReport r;
+  r.algorithm = "HH-CPU";
+  r.total_s = 0.125;  // exactly representable
+  r.threshold_a = 42;
+  r.flops = 1000;
+  r.output_nnz = 900;
+  r.merge.tuples_in = 1100;
+  r.merge.tuples_out = 900;
+  r.queue_cpu_units = 3;
+  const std::string j = r.to_json();
+  EXPECT_EQ(j.front(), '{');
+  EXPECT_EQ(j.back(), '}');
+  EXPECT_NE(j.find("\"algorithm\":\"HH-CPU\""), std::string::npos);
+  EXPECT_NE(j.find("\"total_s\":0.125"), std::string::npos);
+  EXPECT_NE(j.find("\"threshold_a\":42"), std::string::npos);
+  EXPECT_NE(j.find("\"flops\":1000"), std::string::npos);
+  EXPECT_NE(j.find("\"merge_tuples_in\":1100"), std::string::npos);
+  EXPECT_NE(j.find("\"queue_cpu_units\":3"), std::string::npos);
+  EXPECT_EQ(j.find('\n'), std::string::npos);  // single line
+}
+
+TEST(Report, ToJsonEscapesAlgorithmName) {
+  RunReport r;
+  r.algorithm = "a\"b\\c";
+  const std::string j = r.to_json();
+  EXPECT_NE(j.find("\"algorithm\":\"a\\\"b\\\\c\""), std::string::npos);
+}
+
 TEST(Report, DefaultsAreZero) {
   const RunReport r;
   EXPECT_DOUBLE_EQ(r.total_s, 0);

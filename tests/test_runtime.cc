@@ -1,0 +1,239 @@
+#include "runtime/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/hh_cpu.hpp"
+#include "gen/datasets.hpp"
+#include "runtime/timeline.hpp"
+#include "test_util.hpp"
+
+namespace hh {
+namespace {
+
+// ---------------------------------------------------------------- timeline
+
+TEST(ResourceTimeline, AppendsWhenNoGapFits) {
+  ResourceTimeline t(Resource::kCpu);
+  const StageSpan a = t.reserve("a", 0, 1.0);
+  EXPECT_DOUBLE_EQ(a.start_s, 0);
+  EXPECT_DOUBLE_EQ(a.end_s, 1.0);
+  const StageSpan b = t.reserve("b", 0, 2.0);
+  EXPECT_DOUBLE_EQ(b.start_s, 1.0);  // no idle window: appended
+  EXPECT_DOUBLE_EQ(b.end_s, 3.0);
+  EXPECT_DOUBLE_EQ(t.now(), 3.0);
+  EXPECT_DOUBLE_EQ(t.busy(), 3.0);
+}
+
+TEST(ResourceTimeline, RespectsEarliestAndRecordsGap) {
+  ResourceTimeline t(Resource::kGpu);
+  const StageSpan a = t.reserve("a", 5.0, 1.0);  // dependence-delayed
+  EXPECT_DOUBLE_EQ(a.start_s, 5.0);
+  EXPECT_DOUBLE_EQ(t.now(), 6.0);
+  EXPECT_DOUBLE_EQ(t.busy(), 1.0);
+  // The [0, 5) idle window is backfillable by an independent stage.
+  const StageSpan b = t.reserve("b", 0, 2.0);
+  EXPECT_DOUBLE_EQ(b.start_s, 0);
+  EXPECT_DOUBLE_EQ(b.end_s, 2.0);
+  EXPECT_DOUBLE_EQ(t.now(), 6.0);  // frontier unchanged by backfill
+  // The remaining [2, 5) slice is still available...
+  const StageSpan c = t.reserve("c", 0, 3.0);
+  EXPECT_DOUBLE_EQ(c.start_s, 2.0);
+  EXPECT_DOUBLE_EQ(c.end_s, 5.0);
+  // ...and once full, new work appends at the frontier.
+  const StageSpan d = t.reserve("d", 0, 0.5);
+  EXPECT_DOUBLE_EQ(d.start_s, 6.0);
+  EXPECT_DOUBLE_EQ(t.busy(), 6.5);
+}
+
+TEST(ResourceTimeline, BackfillHonorsEarliestInsideGap) {
+  ResourceTimeline t;
+  t.reserve("late", 10.0, 1.0);            // gap [0, 10)
+  const StageSpan s = t.reserve("mid", 4.0, 2.0);
+  EXPECT_DOUBLE_EQ(s.start_s, 4.0);        // not earlier than its dependence
+  EXPECT_DOUBLE_EQ(s.end_s, 6.0);
+  const StageSpan head = t.reserve("head", 0, 4.0);  // [0, 4) slice survives
+  EXPECT_DOUBLE_EQ(head.start_s, 0);
+  const StageSpan tail = t.reserve("tail", 0, 4.0);  // [6, 10) slice survives
+  EXPECT_DOUBLE_EQ(tail.start_s, 6.0);
+  EXPECT_DOUBLE_EQ(t.busy(), 11.0);
+  EXPECT_DOUBLE_EQ(t.now(), 11.0);
+}
+
+TEST(ResourceTimeline, ZeroDurationOccupiesNothing) {
+  ResourceTimeline t;
+  t.reserve("a", 0, 1.0);
+  const StageSpan z = t.reserve("z", 0.25, 0.0);
+  EXPECT_DOUBLE_EQ(z.start_s, 0.25);
+  EXPECT_DOUBLE_EQ(z.duration_s(), 0);
+  EXPECT_DOUBLE_EQ(t.now(), 1.0);   // clock untouched
+  EXPECT_DOUBLE_EQ(t.busy(), 1.0);  // occupancy untouched
+}
+
+// ----------------------------------------------------------------- service
+
+void expect_bit_identical(const CsrMatrix& want, const CsrMatrix& got,
+                          const std::string& label) {
+  EXPECT_EQ(want.rows, got.rows) << label;
+  EXPECT_EQ(want.cols, got.cols) << label;
+  EXPECT_EQ(want.indptr, got.indptr) << label;
+  EXPECT_EQ(want.indices, got.indices) << label;
+  EXPECT_EQ(want.values, got.values) << label;  // exact, not approximate
+}
+
+class ServiceTest : public testing::Test {
+ protected:
+  ServiceTest()
+      : wiki_(make_dataset(dataset_spec("wiki-Vote"), 0.05)),
+        enron_(make_dataset(dataset_spec("email-Enron"), 0.03)),
+        pool_(2) {}
+
+  CsrMatrix wiki_;
+  CsrMatrix enron_;
+  HeteroPlatform plat_;
+  ThreadPool pool_;
+};
+
+TEST_F(ServiceTest, BatchOutputsBitIdenticalToSerialDriver) {
+  SpgemmService service(plat_, pool_);
+  const CsrMatrix* mats[] = {&wiki_, &enron_, &wiki_, &enron_, &wiki_,
+                             &enron_, &wiki_, &enron_};
+  for (const CsrMatrix* m : mats) {
+    service.submit({m, nullptr, {}, ""});
+  }
+  ASSERT_EQ(service.pending(), 8u);
+  const BatchResult batch = service.drain();
+  EXPECT_EQ(service.pending(), 0u);
+  ASSERT_EQ(batch.results.size(), 8u);
+
+  double serial_total = 0;
+  for (std::size_t i = 0; i < std::size(mats); ++i) {
+    const RunResult serial =
+        run_hh_cpu(*mats[i], *mats[i], HhCpuOptions{}, plat_, pool_);
+    serial_total += serial.report.total_s;
+    expect_bit_identical(serial.c, batch.results[i].c,
+                         "request " + std::to_string(i));
+  }
+  // Pipelining + plan cache + residency: strictly faster than back-to-back.
+  EXPECT_LT(batch.batch.makespan_s, serial_total);
+  EXPECT_GT(batch.batch.makespan_s, 0);
+}
+
+TEST_F(ServiceTest, PlanCacheHitsAreBitExactAndSkipIdentification) {
+  SpgemmService service(plat_, pool_);
+  service.submit({&wiki_, nullptr, {}, "cold"});
+  service.submit({&wiki_, nullptr, {}, "warm"});
+  const BatchResult batch = service.drain();
+  ASSERT_EQ(batch.results.size(), 2u);
+
+  EXPECT_FALSE(batch.requests[0].plan_cache_hit);
+  EXPECT_TRUE(batch.requests[1].plan_cache_hit);
+  // Same thresholds, same matrix → identical output.
+  EXPECT_EQ(batch.results[0].report.threshold_a,
+            batch.results[1].report.threshold_a);
+  expect_bit_identical(batch.results[0].c, batch.results[1].c, "warm");
+  // The hit skips identification but still pays classification.
+  EXPECT_LT(batch.results[1].report.phase1_s,
+            batch.results[0].report.phase1_s);
+  EXPECT_GT(batch.results[1].report.phase1_s, 0);
+  // The warm request found its operand resident: no H2D bytes.
+  EXPECT_TRUE(batch.requests[1].inputs_resident);
+  EXPECT_DOUBLE_EQ(batch.results[1].report.transfer_in_s, 0);
+  EXPECT_EQ(service.plan_cache().stats().hits, 1);
+}
+
+TEST_F(ServiceTest, CacheSurvivesAcrossDrains) {
+  SpgemmService service(plat_, pool_);
+  service.submit({&wiki_, nullptr, {}, ""});
+  const BatchResult first = service.drain();
+  service.submit({&wiki_, nullptr, {}, ""});
+  const BatchResult second = service.drain();
+  EXPECT_TRUE(second.requests[0].plan_cache_hit);
+  expect_bit_identical(first.results[0].c, second.results[0].c, "redrain");
+  // invalidate_inputs drops residency (plans stay: keyed by signature).
+  service.invalidate_inputs();
+  service.submit({&wiki_, nullptr, {}, ""});
+  const BatchResult third = service.drain();
+  EXPECT_TRUE(third.requests[0].plan_cache_hit);
+  EXPECT_FALSE(third.requests[0].inputs_resident);
+  expect_bit_identical(first.results[0].c, third.results[0].c, "invalidate");
+}
+
+TEST_F(ServiceTest, ExplicitThresholdsBypassTheCache) {
+  SpgemmService service(plat_, pool_);
+  SpgemmRequest req{&wiki_, nullptr, {}, ""};
+  req.options.threshold_a = 4;
+  req.options.threshold_b = 4;
+  service.submit(std::move(req));
+  service.drain();
+  EXPECT_EQ(service.plan_cache().size(), 0u);
+  EXPECT_EQ(service.plan_cache().stats().misses, 0);
+}
+
+TEST_F(ServiceTest, RectangularProductMatchesSerial) {
+  const CsrMatrix a = test::random_csr(150, 90, 0.04, 3);
+  const CsrMatrix b = test::random_csr(90, 120, 0.06, 5);
+  SpgemmService service(plat_, pool_);
+  service.submit({&a, &b, {}, "rect"});
+  const BatchResult batch = service.drain();
+  const RunResult serial = run_hh_cpu(a, b, HhCpuOptions{}, plat_, pool_);
+  expect_bit_identical(serial.c, batch.results[0].c, "rect");
+}
+
+TEST_F(ServiceTest, ReportsAreInternallyConsistent) {
+  SpgemmService service(plat_, pool_);
+  for (int i = 0; i < 5; ++i) {
+    service.submit({&wiki_, nullptr, {}, "r" + std::to_string(i)});
+  }
+  const BatchResult batch = service.drain();
+  const BatchReport& br = batch.batch;
+  EXPECT_EQ(br.requests, 5u);
+  EXPECT_LE(br.p50_latency_s, br.p95_latency_s);
+  EXPECT_LE(br.p95_latency_s, br.p99_latency_s);
+  EXPECT_LE(br.p99_latency_s, br.makespan_s + 1e-12);
+  EXPECT_GT(br.cpu_busy_s, 0);
+  double max_finish = 0;
+  for (const RequestReport& r : batch.requests) {
+    EXPECT_GE(r.queue_wait_s, 0) << r.label;
+    EXPECT_DOUBLE_EQ(r.latency_s, r.finish_s - r.submit_s) << r.label;
+    EXPECT_DOUBLE_EQ(r.run.total_s, r.latency_s) << r.label;
+    max_finish = std::max(max_finish, r.finish_s);
+    for (const StageSpan& s : r.spans) {
+      EXPECT_GE(s.start_s, r.start_s - 1e-12) << r.label << " " << s.stage;
+      EXPECT_LE(s.end_s, r.finish_s + 1e-12) << r.label << " " << s.stage;
+      EXPECT_GT(s.duration_s(), 0) << r.label << " " << s.stage;
+    }
+  }
+  EXPECT_DOUBLE_EQ(br.makespan_s, max_finish);
+  // JSON renderings are single-line objects with the headline keys.
+  const std::string j = br.to_json();
+  EXPECT_NE(j.find("\"makespan_s\":"), std::string::npos);
+  EXPECT_NE(j.find("\"p99_latency_s\":"), std::string::npos);
+  const std::string rj = batch.requests[0].to_json();
+  EXPECT_NE(rj.find("\"stages\":["), std::string::npos);
+  EXPECT_NE(rj.find("\"run\":{"), std::string::npos);
+  EXPECT_EQ(rj.find('\n'), std::string::npos);
+}
+
+TEST_F(ServiceTest, WorkspacePoolingPreservesResults) {
+  SpgemmService::Config no_pool;
+  no_pool.use_workspace_pool = false;
+  no_pool.keep_inputs_resident = false;
+  SpgemmService plain(plat_, pool_, no_pool);
+  SpgemmService pooled(plat_, pool_);
+  for (SpgemmService* s : {&plain, &pooled}) {
+    s->submit({&enron_, nullptr, {}, ""});
+    s->submit({&wiki_, nullptr, {}, ""});
+    s->submit({&enron_, nullptr, {}, ""});
+  }
+  const BatchResult a = plain.drain();
+  const BatchResult b = pooled.drain();
+  for (std::size_t i = 0; i < 3; ++i) {
+    expect_bit_identical(a.results[i].c, b.results[i].c,
+                         "pooled vs plain " + std::to_string(i));
+  }
+  EXPECT_GT(pooled.workspace_pool().stats().spa_reuses, 0);
+  EXPECT_EQ(plain.workspace_pool().stats().spa_acquires, 0);
+}
+
+}  // namespace
+}  // namespace hh

@@ -143,6 +143,40 @@ TEST(WorkQueueConfigTest, AutoScalesWithInstance) {
   EXPECT_EQ(kept.gpu_rows, 456);
 }
 
+TEST(WorkQueueConfigTest, TinyInstancesStayWithinBounds) {
+  // Regression: the auto clamp's 16-row floor used to exceed the instance
+  // itself for a_rows < 16. Auto units must satisfy 1 <= cpu_rows <= a_rows
+  // (when a_rows >= 1) and gpu_rows >= 1 for every size.
+  WorkQueueConfig cfg;  // auto
+  for (index_t rows : {0, 1, 2, 3, 7, 15, 16, 17}) {
+    const WorkQueueConfig r = resolve_queue_config(cfg, rows);
+    EXPECT_GE(r.cpu_rows, 1) << "a_rows=" << rows;
+    EXPECT_GE(r.gpu_rows, 1) << "a_rows=" << rows;
+    if (rows >= 1) {
+      EXPECT_LE(r.cpu_rows, std::max<index_t>(rows, 1)) << "a_rows=" << rows;
+    }
+  }
+  EXPECT_EQ(resolve_queue_config(cfg, 5).cpu_rows, 5);
+  EXPECT_EQ(resolve_queue_config(cfg, 1).cpu_rows, 1);
+}
+
+TEST(WorkQueueConfigTest, TinyMatrixQueueRunsToCompletion) {
+  // End-to-end on a 7-row instance: auto unit sizes must not starve either
+  // end or drop rows.
+  const CsrMatrix m = test::random_csr(7, 7, 0.4, 33);
+  const auto entries = natural_order_entries(m);
+  const MaskSpec masks[1] = {{{}, true, 0.0, false}};
+  HeteroPlatform plat;
+  ThreadPool pool(2);
+  const WorkQueueResult r = run_workqueue(m, m, entries, masks,
+                                          WorkQueueConfig{}, 0, 0, plat, pool);
+  EXPECT_EQ(r.cpu_stats.rows + r.gpu_stats.rows, m.rows);
+  const CsrMatrix got = merged_coo_to_csr(r.tuples);
+  const CsrMatrix want = gustavson_spgemm(m, m);
+  std::string why;
+  EXPECT_TRUE(approx_equal(want, got, 1e-12, &why)) << why;
+}
+
 TEST(SortedEntries, DensestFirst) {
   const CsrMatrix m = test::random_csr(50, 50, 0.2, 81);
   const auto entries = sorted_by_density_entries(m);
