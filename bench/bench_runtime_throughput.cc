@@ -1,13 +1,25 @@
 // Pipelined service runtime vs. back-to-back run_hh_cpu calls.
 //
-// Submits a batch of Table-I analogue self-products (with repeats, so the
-// plan cache and operand residency get exercised) to SpgemmService, then runs
-// the identical batch serially through run_hh_cpu. Verifies every output is
-// bit-identical to the serial path and prints one JSON object with the batch
-// percentiles, the pipelined makespan, and the measured serial makespan.
+// Part 1 — fault-free: submits a batch of Table-I analogue self-products
+// (with repeats, so the plan cache and operand residency get exercised) to
+// SpgemmService, then runs the identical batch serially through run_hh_cpu.
+// Verifies every output is bit-identical to the serial path.
+//
+// Part 2 — under fault injection: a larger batch (HH_FAULT_REQUESTS,
+// default 102) drains against a FaultPlan with transient GPU aborts and
+// PCIe failures/corruption. Every request must survive — retried or
+// degraded to the CPU-only path — with output bit-identical to the
+// fault-free serial reference; the report shows throughput under faults
+// next to the healthy throughput.
 //
 //   ./bench_runtime_throughput            # scale via HH_SCALE (default 0.1)
+//   HH_FAULT_GPU_RATE=0.3 HH_FAULT_PCIE_RATE=0.2 HH_FAULT_SEED=7
+//   HH_FAULT_REQUESTS=200 ./bench_runtime_throughput   (env knobs)
+//
+// Prints one JSON object per part (last two lines) with the batch
+// percentiles, makespans, and fault/recovery counters.
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -18,6 +30,14 @@ namespace {
 bool bit_identical(const hh::CsrMatrix& x, const hh::CsrMatrix& y) {
   return x.rows == y.rows && x.cols == y.cols && x.indptr == y.indptr &&
          x.indices == y.indices && x.values == y.values;
+}
+
+double env_double(const char* name, double fallback) {
+  if (const char* env = std::getenv(name)) {
+    const double v = std::atof(env);
+    if (v >= 0) return v;
+  }
+  return fallback;
 }
 
 }  // namespace
@@ -84,5 +104,73 @@ int main() {
     std::printf("%s%s", i ? "," : "", batch.requests[i].to_json().c_str());
   }
   std::printf("]}\n");
+
+  // ---- Part 2: the same service under fault injection (docs/robustness.md).
+  const double gpu_rate = env_double("HH_FAULT_GPU_RATE", 0.25);
+  const double pcie_rate = env_double("HH_FAULT_PCIE_RATE", 0.15);
+  const std::size_t fault_requests = static_cast<std::size_t>(
+      env_double("HH_FAULT_REQUESTS", 102));
+
+  SpgemmService::Config cfg;
+  cfg.fault_plan.seed =
+      static_cast<std::uint64_t>(env_double("HH_FAULT_SEED", 42));
+  cfg.fault_plan.gpu_kernel.rate = gpu_rate;
+  cfg.fault_plan.h2d.rate = pcie_rate;
+  cfg.fault_plan.d2h.rate = pcie_rate;
+  cfg.fault_plan.cpu_worker.rate = 0.05;
+  cfg.keep_inputs_resident = false;  // every request pays a faultable upload
+  SpgemmService faulted(platform, pool, cfg);
+
+  std::printf("\n== under fault injection: gpu rate %.2f, pcie rate %.2f, "
+              "seed %llu, %zu requests ==\n",
+              gpu_rate, pcie_rate,
+              static_cast<unsigned long long>(cfg.fault_plan.seed),
+              fault_requests);
+  for (std::size_t i = 0; i < fault_requests; ++i) {
+    SpgemmRequest req;
+    req.a = &mats[i % mats.size()];
+    req.label = std::string(names[i % mats.size()]) + "!" +
+                std::to_string(i / mats.size());
+    faulted.submit(std::move(req));
+  }
+  const BatchResult under_faults = faulted.drain();
+
+  // Zero lost requests, every output bit-identical to the fault-free serial
+  // reference for its matrix.
+  std::vector<CsrMatrix> refs;
+  refs.reserve(mats.size());
+  for (const CsrMatrix& m : mats) {
+    refs.push_back(run_hh_cpu(m, m, HhCpuOptions{}, platform, pool).c);
+  }
+  if (under_faults.results.size() != fault_requests) {
+    std::fprintf(stderr, "FATAL: %zu of %zu requests lost under faults\n",
+                 fault_requests - under_faults.results.size(),
+                 fault_requests);
+    return 1;
+  }
+  for (std::size_t i = 0; i < fault_requests; ++i) {
+    if (!under_faults.requests[i].status.ok() ||
+        !bit_identical(refs[i % refs.size()], under_faults.results[i].c)) {
+      std::fprintf(stderr,
+                   "FATAL: request %zu (%s) wrong under faults (status %s)\n",
+                   i, under_faults.requests[i].label.c_str(),
+                   under_faults.requests[i].status.to_string().c_str());
+      return 1;
+    }
+  }
+  std::printf("all %zu outputs bit-identical to the fault-free serial "
+              "reference\n\n%s",
+              under_faults.results.size(),
+              under_faults.batch.to_string().c_str());
+  std::printf("throughput: %.1f req/s healthy vs %.1f req/s under faults "
+              "(simulated)\n\n",
+              static_cast<double>(batch.batch.requests) /
+                  batch.batch.makespan_s,
+              static_cast<double>(under_faults.batch.requests) /
+                  under_faults.batch.makespan_s);
+  std::printf("{\"faulted_batch\":%s,\"gpu_rate\":%.9g,\"pcie_rate\":%.9g,"
+              "\"seed\":%llu}\n",
+              under_faults.batch.to_json().c_str(), gpu_rate, pcie_rate,
+              static_cast<unsigned long long>(cfg.fault_plan.seed));
   return 0;
 }

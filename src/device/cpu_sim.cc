@@ -49,6 +49,11 @@ double CpuSim::merge_time(std::int64_t tuples) const {
   return cycles / (static_cast<double>(cm_.cores) * cm_.parallel_eff * clock);
 }
 
+double CpuSim::stall_s(FaultInjector* fi) const {
+  if (fi == nullptr) return 0;
+  return fi->next(FaultSite::kCpuWorker).stall_s;
+}
+
 double CpuSim::classify_time(std::int64_t rows) const {
   const double clock = cm_.clock_ghz * 1e9;
   // One pass over row sizes per matrix: a compare and a flag store.

@@ -8,6 +8,7 @@
 #pragma once
 
 #include "device/cost_model.hpp"
+#include "fault/fault.hpp"
 #include "spgemm/spgemm.hpp"
 
 namespace hh {
@@ -35,6 +36,11 @@ class CpuSim {
 
   /// Phase I threshold identification over a row-size histogram.
   double classify_time(std::int64_t rows) const;
+
+  /// Injected worker stall for the next CPU stage: extra simulated
+  /// occupancy, 0 when healthy or when `fi` is nullptr. Stalls delay but
+  /// never fail — the stage's numeric result is unaffected.
+  double stall_s(FaultInjector* fi) const;
 
   const CpuCostModel& model() const { return cm_; }
 

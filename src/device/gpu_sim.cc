@@ -32,6 +32,19 @@ double GpuSim::kernel_time(const ProductStats& s) const {
   return cm_.derate * body + cm_.kernel_launch_s;
 }
 
+DeviceAttempt GpuSim::kernel_attempt(const ProductStats& s,
+                                     FaultInjector* fi) const {
+  const double t = kernel_time(s);
+  if (t <= 0) return {true, false, 0};
+  if (fi != nullptr) {
+    const FaultDecision d = fi->next(FaultSite::kGpuKernel);
+    if (d.fault) {
+      return {false, false, std::max(cm_.kernel_launch_s, d.fraction * t)};
+    }
+  }
+  return {true, false, t};
+}
+
 double GpuSim::generic_time(const ProductStats& s) const {
   if (s.rows == 0) return 0.0;
   // Expand-sort-contract: every flop becomes a tuple that is written,

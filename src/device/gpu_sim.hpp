@@ -4,6 +4,7 @@
 #pragma once
 
 #include "device/cost_model.hpp"
+#include "fault/fault.hpp"
 #include "spgemm/spgemm.hpp"
 
 namespace hh {
@@ -26,6 +27,14 @@ class GpuSim {
 
   /// Phase IV share when the GPU pre-sorts its own tuples before transfer.
   double tuple_sort_time(std::int64_t tuples) const;
+
+  /// One launch under fault injection (pass nullptr for a guaranteed-healthy
+  /// attempt). A transient abort occupies the device for part of the launch
+  /// (never less than the launch overhead) and produces no usable result —
+  /// the caller re-launches or degrades to the CPU path. Launches with no
+  /// work (kernel_time == 0) never consume an injector op, so the fault
+  /// schedule is stable across degenerate partitions.
+  DeviceAttempt kernel_attempt(const ProductStats& s, FaultInjector* fi) const;
 
   const GpuCostModel& model() const { return cm_; }
 

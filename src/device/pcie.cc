@@ -15,4 +15,33 @@ double PcieChannel::tuple_transfer_time(std::int64_t n) const {
   return transfer_time(16.0 * static_cast<double>(n));
 }
 
+DeviceAttempt PcieChannel::transfer_attempt(double bytes,
+                                            FaultInjector* fi) const {
+  const double t = transfer_time(bytes);
+  if (t <= 0) return {true, false, 0};
+  if (fi != nullptr) {
+    const FaultDecision d =
+        fi->next(dir_ == PcieDir::kH2D ? FaultSite::kH2D : FaultSite::kD2H);
+    if (d.fault) {
+      // Corruption spends the full transfer time (the bytes all crossed,
+      // just wrong); a hard failure dies partway through but no earlier
+      // than the link latency.
+      const double elapsed =
+          d.corrupt ? t : std::max(cm_.latency_s, d.fraction * t);
+      return {false, d.corrupt, elapsed};
+    }
+  }
+  return {true, false, t};
+}
+
+DeviceAttempt PcieChannel::matrix_transfer_attempt(const CsrMatrix& m,
+                                                   FaultInjector* fi) const {
+  return transfer_attempt(static_cast<double>(m.byte_size()), fi);
+}
+
+DeviceAttempt PcieChannel::tuple_transfer_attempt(std::int64_t n,
+                                                  FaultInjector* fi) const {
+  return transfer_attempt(16.0 * static_cast<double>(n), fi);
+}
+
 }  // namespace hh

@@ -13,14 +13,18 @@
 #include <cstdint>
 
 #include "device/cost_model.hpp"
+#include "fault/fault.hpp"
 #include "sparse/csr.hpp"
 
 namespace hh {
 
+enum class PcieDir { kH2D, kD2H };
+
 /// One direction of the link: latency + bandwidth + efficiency.
 class PcieChannel {
  public:
-  explicit PcieChannel(const PcieCostModel& cm) : cm_(cm) {}
+  explicit PcieChannel(const PcieCostModel& cm, PcieDir dir = PcieDir::kH2D)
+      : cm_(cm), dir_(dir) {}
 
   double transfer_time(double bytes) const;
 
@@ -30,10 +34,22 @@ class PcieChannel {
   /// Shipping n tuples of ⟨r, c, v⟩ (4 + 4 + 8 bytes).
   double tuple_transfer_time(std::int64_t n) const;
 
+  /// Fault-aware variants: one transfer attempt under the injector's
+  /// schedule (pass nullptr for a guaranteed-healthy attempt). A hard
+  /// failure aborts partway through and wastes `elapsed_s`; a corruption
+  /// runs to completion but the payload fails checksum verification — the
+  /// caller must re-send (and, for uploads, drop device residency).
+  DeviceAttempt transfer_attempt(double bytes, FaultInjector* fi) const;
+  DeviceAttempt matrix_transfer_attempt(const CsrMatrix& m,
+                                        FaultInjector* fi) const;
+  DeviceAttempt tuple_transfer_attempt(std::int64_t n, FaultInjector* fi) const;
+
+  PcieDir direction() const { return dir_; }
   const PcieCostModel& model() const { return cm_; }
 
  private:
   PcieCostModel cm_;
+  PcieDir dir_;
 };
 
 /// The full-duplex link: an H2D channel and a D2H channel with independent
@@ -41,7 +57,8 @@ class PcieChannel {
 /// are symmetric).
 class PcieLink {
  public:
-  explicit PcieLink(const PcieCostModel& cm) : h2d_(cm), d2h_(cm) {}
+  explicit PcieLink(const PcieCostModel& cm)
+      : h2d_(cm, PcieDir::kH2D), d2h_(cm, PcieDir::kD2H) {}
 
   const PcieChannel& h2d() const { return h2d_; }
   const PcieChannel& d2h() const { return d2h_; }

@@ -1,0 +1,31 @@
+// End-to-end checksums over shipped buffers.
+//
+// Every operand uploaded to the device and every tuple buffer shipped back
+// carries an FNV-1a digest of its raw bytes. The service computes the
+// digest host-side before a transfer and verifies it after: a corrupted
+// PCIe transfer (fault/fault.hpp) fails verification and forces a re-send —
+// for uploads, the device-side copy is also dropped from the residency memo
+// so later requests cannot silently reuse a damaged operand.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+
+namespace hh {
+
+inline constexpr std::uint64_t kFnv1aOffset = 0xcbf29ce484222325ULL;
+
+/// FNV-1a over raw bytes; chainable via the seed parameter.
+std::uint64_t fnv1a64(const void* data, std::size_t bytes,
+                      std::uint64_t seed = kFnv1aOffset);
+
+/// Digest of a CSR operand as shipped (indptr ‖ indices ‖ values + shape).
+std::uint64_t matrix_checksum(const CsrMatrix& m);
+
+/// Digest of a COO tuple buffer as shipped (r ‖ c ‖ v + shape).
+std::uint64_t tuple_checksum(const CooMatrix& coo);
+
+}  // namespace hh

@@ -35,6 +35,15 @@ void PlanCache::insert(const PlanKey& key, CachedPlan plan) {
   map_.emplace(key, lru_.begin());
 }
 
+bool PlanCache::quarantine(const PlanKey& key) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  lru_.erase(it->second);
+  map_.erase(it);
+  ++stats_.quarantines;
+  return true;
+}
+
 void PlanCache::clear() {
   lru_.clear();
   map_.clear();

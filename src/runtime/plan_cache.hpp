@@ -52,6 +52,7 @@ class PlanCache {
     std::int64_t hits = 0;
     std::int64_t misses = 0;
     std::int64_t evictions = 0;
+    std::int64_t quarantines = 0;
   };
 
   explicit PlanCache(std::size_t capacity = 64);
@@ -61,6 +62,12 @@ class PlanCache {
 
   /// Insert or overwrite; evicts the LRU entry when at capacity.
   void insert(const PlanKey& key, CachedPlan plan);
+
+  /// Drop the entry after a request that used it failed (retry exhaustion,
+  /// deadline miss): the next request with this key re-identifies from
+  /// scratch instead of reusing a possibly-implicated plan. Returns whether
+  /// an entry was present. A no-op on absent keys.
+  bool quarantine(const PlanKey& key);
 
   std::size_t size() const { return map_.size(); }
   std::size_t capacity() const { return capacity_; }

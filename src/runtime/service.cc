@@ -8,6 +8,7 @@
 
 #include "core/hh_stages.hpp"
 #include "core/partition_plan.hpp"
+#include "fault/checksum.hpp"
 #include "util/check.hpp"
 
 namespace hh {
@@ -25,6 +26,19 @@ std::string jnum(double x) {
   return buf;
 }
 
+std::string jbool(bool b) { return b ? "true" : "false"; }
+
+std::string faults_json(const FaultRecoveryStats& f) {
+  std::ostringstream os;
+  os << "{\"gpu_aborts\":" << f.gpu_aborts
+     << ",\"h2d_faults\":" << f.h2d_faults
+     << ",\"d2h_faults\":" << f.d2h_faults
+     << ",\"corruptions\":" << f.corruptions
+     << ",\"cpu_stalls\":" << f.cpu_stalls << ",\"retries\":" << f.retries
+     << ",\"backoff_s\":" << jnum(f.backoff_s) << "}";
+  return os.str();
+}
+
 /// Nearest-rank percentile over an unsorted sample; q in (0, 1].
 double percentile(std::vector<double> xs, double q) {
   if (xs.empty()) return 0;
@@ -34,7 +48,22 @@ double percentile(std::vector<double> xs, double q) {
   return xs[std::min(xs.size(), std::max<std::size_t>(rank, 1)) - 1];
 }
 
+// A GPU "join time" no request can ever reach: passing it as the queue's
+// gpu_start makes run_phase3 assign every unit to the CPU end — the
+// CPU-only re-plan of a degraded request.
+constexpr double kGpuNeverJoins = 1e300;
+
 }  // namespace
+
+void FaultRecoveryStats::accumulate(const FaultRecoveryStats& o) {
+  gpu_aborts += o.gpu_aborts;
+  h2d_faults += o.h2d_faults;
+  d2h_faults += o.d2h_faults;
+  corruptions += o.corruptions;
+  cpu_stalls += o.cpu_stalls;
+  retries += o.retries;
+  backoff_s += o.backoff_s;
+}
 
 std::string RequestReport::to_string() const {
   std::ostringstream os;
@@ -44,6 +73,12 @@ std::string RequestReport::to_string() const {
      << "), finish at " << ms(finish_s);
   if (plan_cache_hit) os << ", plan cached";
   if (inputs_resident) os << ", inputs resident";
+  if (degraded_to_cpu) os << ", DEGRADED to CPU-only";
+  if (deadline_missed) os << ", DEADLINE MISSED (cancelled)";
+  if (faults.total_faults() > 0) {
+    os << ", faults " << faults.total_faults() << " (retries "
+       << faults.retries << ")";
+  }
   os << "\n";
   for (const StageSpan& s : spans) {
     os << "    " << hh::to_string(s.resource) << "  " << s.stage << "  ["
@@ -55,8 +90,13 @@ std::string RequestReport::to_string() const {
 std::string RequestReport::to_json() const {
   std::ostringstream os;
   os << "{\"request_id\":" << request_id << ",\"label\":\"" << label
-     << "\",\"plan_cache_hit\":" << (plan_cache_hit ? "true" : "false")
-     << ",\"inputs_resident\":" << (inputs_resident ? "true" : "false")
+     << "\",\"status\":\"" << hh::to_string(status.code)
+     << "\",\"plan_cache_hit\":" << jbool(plan_cache_hit)
+     << ",\"inputs_resident\":" << jbool(inputs_resident)
+     << ",\"degraded_to_cpu\":" << jbool(degraded_to_cpu)
+     << ",\"deadline_missed\":" << jbool(deadline_missed)
+     << ",\"deadline_s\":" << jnum(deadline_s)
+     << ",\"faults\":" << faults_json(faults)
      << ",\"submit_s\":" << jnum(submit_s) << ",\"start_s\":" << jnum(start_s)
      << ",\"finish_s\":" << jnum(finish_s)
      << ",\"queue_wait_s\":" << jnum(queue_wait_s)
@@ -82,10 +122,18 @@ std::string BatchReport::to_string() const {
      << "x)\n";
   os << "  latency p50 " << ms(p50_latency_s) << ", p95 " << ms(p95_latency_s)
      << ", p99 " << ms(p99_latency_s) << "\n";
+  os << "  outcome: " << completed << " completed, " << degraded
+     << " degraded to CPU, " << deadline_missed << " deadline-missed, "
+     << shed << " shed\n";
+  os << "  faults: gpu " << faults.gpu_aborts << ", h2d " << faults.h2d_faults
+     << ", d2h " << faults.d2h_faults << " (" << faults.corruptions
+     << " corrupt), cpu stalls " << faults.cpu_stalls << "; retries "
+     << faults.retries << ", backoff " << ms(faults.backoff_s) << "\n";
   os << "  busy: cpu " << ms(cpu_busy_s) << ", gpu " << ms(gpu_busy_s)
      << ", h2d " << ms(h2d_busy_s) << ", d2h " << ms(d2h_busy_s) << "\n";
   os << "  plan cache: " << plan_cache.hits << " hits, " << plan_cache.misses
-     << " misses, " << plan_cache.evictions << " evictions\n";
+     << " misses, " << plan_cache.evictions << " evictions, "
+     << plan_cache.quarantines << " quarantines\n";
   os << "  workspace pool: " << workspace.spa_reuses << "/"
      << workspace.spa_acquires << " SPA reuses, " << workspace.coo_reuses
      << "/" << workspace.coo_acquires << " tuple-buffer reuses\n";
@@ -94,7 +142,10 @@ std::string BatchReport::to_string() const {
 
 std::string BatchReport::to_json() const {
   std::ostringstream os;
-  os << "{\"requests\":" << requests
+  os << "{\"requests\":" << requests << ",\"completed\":" << completed
+     << ",\"degraded\":" << degraded
+     << ",\"deadline_missed\":" << deadline_missed << ",\"shed\":" << shed
+     << ",\"faults\":" << faults_json(faults)
      << ",\"makespan_s\":" << jnum(makespan_s)
      << ",\"sequential_estimate_s\":" << jnum(sequential_estimate_s)
      << ",\"p50_latency_s\":" << jnum(p50_latency_s)
@@ -106,6 +157,7 @@ std::string BatchReport::to_json() const {
      << ",\"d2h_busy_s\":" << jnum(d2h_busy_s) << ",\"plan_cache\":{\"hits\":"
      << plan_cache.hits << ",\"misses\":" << plan_cache.misses
      << ",\"evictions\":" << plan_cache.evictions
+     << ",\"quarantines\":" << plan_cache.quarantines
      << "},\"workspace\":{\"spa_acquires\":" << workspace.spa_acquires
      << ",\"spa_reuses\":" << workspace.spa_reuses
      << ",\"coo_acquires\":" << workspace.coo_acquires
@@ -118,13 +170,67 @@ SpgemmService::SpgemmService(const HeteroPlatform& platform, ThreadPool& pool,
     : platform_(platform),
       pool_(pool),
       config_(config),
-      plan_cache_(config.plan_cache_capacity) {}
+      plan_cache_(config.plan_cache_capacity),
+      injector_(config.fault_plan) {}
 
-std::size_t SpgemmService::submit(SpgemmRequest request) {
-  HH_CHECK_MSG(request.a != nullptr, "request needs an A operand");
+namespace {
+
+void validate_request(const SpgemmRequest& request) {
+  if (request.a == nullptr) {
+    throw InvalidArgumentError("request needs an A operand");
+  }
   const CsrMatrix& a = *request.a;
   const CsrMatrix& b = request.b != nullptr ? *request.b : a;
-  HH_CHECK_MSG(a.cols == b.rows, "incompatible shapes for product");
+  auto check_operand = [](const CsrMatrix& m, const char* side) {
+    if (m.rows <= 0 || m.cols <= 0) {
+      std::ostringstream os;
+      os << side << " operand is empty (" << m.rows << "x" << m.cols << ")";
+      throw InvalidArgumentError(os.str());
+    }
+    // Cheap structural sanity (O(1)); full validate() is the caller's job.
+    if (m.indptr.size() != static_cast<std::size_t>(m.rows) + 1 ||
+        m.indptr.back() != static_cast<offset_t>(m.indices.size()) ||
+        m.indices.size() != m.values.size()) {
+      std::ostringstream os;
+      os << side << " operand has inconsistent CSR arrays";
+      throw InvalidArgumentError(os.str());
+    }
+  };
+  check_operand(a, "A");
+  if (request.b != nullptr) check_operand(b, "B");
+  if (a.cols != b.rows) {
+    std::ostringstream os;
+    os << "incompatible shapes for product: A is " << a.rows << "x" << a.cols
+       << ", B is " << b.rows << "x" << b.cols;
+    throw InvalidArgumentError(os.str());
+  }
+  if (request.options.threshold_a < 0 || request.options.threshold_b < 0) {
+    throw InvalidArgumentError("thresholds must be >= 0 (0 = analytic pick)");
+  }
+  if (request.options.queue.cpu_rows < 0 || request.options.queue.gpu_rows < 0) {
+    throw InvalidArgumentError("queue unit sizes must be >= 0 (0 = auto)");
+  }
+  if (request.options.queue.cpu_dequeue_s < 0 ||
+      request.options.queue.gpu_dequeue_s < 0) {
+    throw InvalidArgumentError("queue dequeue costs must be >= 0");
+  }
+  if (request.deadline_s < 0) {
+    throw InvalidArgumentError("deadline must be >= 0 (0 = service default)");
+  }
+}
+
+}  // namespace
+
+std::size_t SpgemmService::submit(SpgemmRequest request) {
+  validate_request(request);
+  if (config_.admission_capacity > 0 &&
+      queue_.size() >= config_.admission_capacity) {
+    ++shed_since_drain_;
+    std::ostringstream os;
+    os << "admission queue full (" << queue_.size() << "/"
+       << config_.admission_capacity << "), request shed";
+    throw AdmissionError(os.str());
+  }
   queue_.push_back(std::move(request));
   return next_id_++;
 }
@@ -153,6 +259,8 @@ BatchResult SpgemmService::drain() {
   ResourceTimeline h2d(Resource::kH2D);
   ResourceTimeline d2h(Resource::kD2H);
   WorkspacePool* ws = config_.use_workspace_pool ? &workspace_ : nullptr;
+  FaultInjector* fi = config_.fault_plan.enabled() ? &injector_ : nullptr;
+  const RecoveryPolicy& rp = config_.recovery;
   const std::size_t first_id = next_id_ - queue_.size();
 
   std::vector<double> latencies;
@@ -170,29 +278,48 @@ BatchResult SpgemmService::drain() {
     rr.request_id = first_id + i;
     rr.label = req.label;
     rr.submit_s = 0;
+    rr.deadline_s =
+        req.deadline_s > 0 ? req.deadline_s : config_.default_deadline_s;
     RunReport& rep = rr.run;
     rep.algorithm = "HH-CPU (pipelined)";
+
+    bool cancelled = false;
+    bool degraded = false;
+    double degrade_at = 0;  // clock where the degrade decision landed
+
+    const auto past_deadline = [&](double t) {
+      return rr.deadline_s > 0 && t - rr.submit_s > rr.deadline_s + 1e-15;
+    };
+    const auto backoff_for = [&](int failures) {
+      return rp.backoff_base_s *
+             std::pow(rp.backoff_multiplier, failures - 1);
+    };
+    // A CPU stage's duration plus any injected worker stall (stalls delay,
+    // never fail). Zero-duration stages consume no injector op so the fault
+    // schedule is stable across degenerate partitions.
+    const auto stalled = [&](double base) {
+      if (base <= 0) return base;
+      const double st = platform_.cpu().stall_s(fi);
+      if (st > 0) rr.faults.cpu_stalls++;
+      return base + st;
+    };
 
     // ---- Phase I: plan, through the cache when thresholds are not pinned.
     offset_t t_a = req.options.threshold_a;
     offset_t t_b = req.options.threshold_b;
     const bool cacheable = t_a <= 0 || t_b <= 0;
+    PlanKey cache_key;
     if (cacheable) {
-      const PlanKey key{signature_of(req.a), signature_of(pb)};
-      if (const auto cached = plan_cache_.lookup(key)) {
+      cache_key = PlanKey{signature_of(req.a), signature_of(pb)};
+      if (const auto cached = plan_cache_.lookup(cache_key)) {
         t_a = cached->threshold_a;
         t_b = cached->threshold_b;
         rr.plan_cache_hit = true;
-      } else {
-        // Cold: identify below (make_partition_plan runs the analytic
-        // picker on the 0 thresholds), then remember the outcome.
       }
     }
-    const PartitionPlan plan =
-        make_partition_plan(a, b, t_a, t_b, platform_);
+    const PartitionPlan plan = make_partition_plan(a, b, t_a, t_b, platform_);
     if (cacheable && !rr.plan_cache_hit) {
-      plan_cache_.insert({signature_of(req.a), signature_of(pb)},
-                         {plan.a.threshold, plan.b.threshold});
+      plan_cache_.insert(cache_key, {plan.a.threshold, plan.b.threshold});
     }
     rep.threshold_a = plan.a.threshold;
     rep.threshold_b = plan.b.threshold;
@@ -203,58 +330,247 @@ BatchResult SpgemmService::drain() {
     rep.phase1_s = rr.plan_cache_hit ? plan.classify_s : plan.phase1_s;
     const StageSpan analyze =
         cpu.reserve(rr.plan_cache_hit ? "analyze(cached-plan)" : "analyze",
-                    rr.submit_s, rep.phase1_s);
+                    rr.submit_s, stalled(rep.phase1_s));
+    rr.spans.push_back(analyze);
+    if (past_deadline(analyze.end_s)) cancelled = true;
 
     // ---- Input transfer on the H2D channel; resident operands skip it.
+    // Each non-resident operand is uploaded with bounded retries: a hard
+    // failure wastes part of the transfer, a corruption spends the whole
+    // transfer and is caught by checksum verification (the damaged device
+    // copy is never memoized as resident). Retry exhaustion flips the
+    // request to the CPU-only path — no GPU, no PCIe.
     const bool on_gpu = req.options.matrices_already_on_gpu;
-    double tx_in_s = 0;
-    if (!on_gpu && resident_.count(req.a) == 0) {
-      tx_in_s += platform_.link().h2d().matrix_transfer_time(a);
+    double tx_in_total = 0;
+    StageSpan tx_in_last{"h2d-input", Resource::kH2D, rr.submit_s,
+                         rr.submit_s};
+    if (!cancelled && !on_gpu) {
+      const CsrMatrix* operands[2] = {req.a, pb != req.a ? pb : nullptr};
+      for (const CsrMatrix* m : operands) {
+        if (m == nullptr || resident_.count(m) != 0) continue;
+        int failures = 0;
+        double earliest = rr.submit_s;
+        for (;;) {
+          const DeviceAttempt at =
+              platform_.link().h2d().matrix_transfer_attempt(*m, fi);
+          const char* name = at.ok               ? "h2d-input"
+                             : at.corrupt        ? "h2d-input-corrupt"
+                                                 : "h2d-input-fault";
+          const StageSpan s = h2d.reserve(name, earliest, at.elapsed_s);
+          rr.spans.push_back(s);
+          tx_in_total += at.elapsed_s;
+          if (s.end_s > tx_in_last.end_s) tx_in_last = s;
+          if (at.ok) {
+            if (config_.keep_inputs_resident) {
+              resident_.emplace(m, matrix_checksum(*m));
+            }
+            if (past_deadline(s.end_s)) cancelled = true;
+            break;
+          }
+          rr.faults.h2d_faults++;
+          if (at.corrupt) {
+            rr.faults.corruptions++;
+            resident_.erase(m);  // never reuse a damaged device copy
+          }
+          ++failures;
+          if (past_deadline(s.end_s)) {
+            cancelled = true;
+            break;
+          }
+          if (failures >= rp.max_attempts) {
+            degraded = true;
+            degrade_at = std::max(degrade_at, s.end_s);
+            break;
+          }
+          rr.faults.retries++;
+          const double wait = backoff_for(failures);
+          rr.faults.backoff_s += wait;
+          earliest = s.end_s + wait;
+        }
+        if (cancelled || degraded) break;
+      }
     }
-    if (!on_gpu && &b != &a && resident_.count(pb) == 0) {
-      tx_in_s += platform_.link().h2d().matrix_transfer_time(b);
-    }
-    rr.inputs_resident = tx_in_s == 0;
-    rep.transfer_in_s = tx_in_s;
-    const StageSpan tx_in = h2d.reserve("h2d-input", rr.submit_s, tx_in_s);
-    if (config_.keep_inputs_resident) {
-      resident_.insert(req.a);
-      resident_.insert(pb);
-    }
+    rr.inputs_resident = tx_in_total == 0;
+    rep.transfer_in_s = tx_in_total;
 
-    // ---- Phase II: CPU A_H×B_H ∥ GPU A_L×B_L.
-    Phase2Result p2 = run_phase2(a, b, plan, platform_, pool_, ws);
-    rep.phase2_cpu_s = p2.cpu_s;
-    rep.phase2_gpu_s = p2.gpu_s;
-    rep.phase2_s = HeteroPlatform::overlap(p2.cpu_s, p2.gpu_s);
-    const StageSpan cpu2 = cpu.reserve("phase2-cpu", analyze.end_s, p2.cpu_s);
-    const StageSpan gpu2 = gpu.reserve(
-        "phase2-gpu", std::max(analyze.end_s, tx_in.end_s), p2.gpu_s);
+    // ---- Phase II numerics + scheduling. The numeric work always executes
+    // host-side with the same decomposition, so retries and degradation
+    // cannot change the output bits.
+    Phase2Result p2;
+    bool p2_live = false;
+    WorkQueueResult q;
+    MergeResult merged;
+    bool have_output = false;
+    StageSpan cpu2{}, gpu2{}, q_cpu{}, tx_out{}, deg{}, merge{};
+
+    if (!cancelled) {
+      p2 = run_phase2(a, b, plan, platform_, pool_, ws);
+      p2_live = true;
+      rep.phase2_cpu_s = p2.cpu_s;
+      rep.phase2_gpu_s = p2.gpu_s;
+      rep.phase2_s = HeteroPlatform::overlap(p2.cpu_s, p2.gpu_s);
+      cpu2 = cpu.reserve("phase2-cpu", analyze.end_s, stalled(p2.cpu_s));
+      rr.spans.push_back(cpu2);
+      if (past_deadline(cpu2.end_s)) cancelled = true;
+
+      // GPU side of Phase II: re-launch on transient aborts, degrade after
+      // the request's N-th GPU failure.
+      gpu2 = StageSpan{"phase2-gpu", Resource::kGpu, analyze.end_s,
+                       analyze.end_s};
+      if (!cancelled && !degraded && p2.gpu_s > 0) {
+        double earliest = std::max(analyze.end_s, tx_in_last.end_s);
+        for (;;) {
+          const DeviceAttempt at =
+              platform_.gpu().kernel_attempt(p2.ll_stats, fi);
+          const StageSpan s = gpu.reserve(
+              at.ok ? "phase2-gpu" : "phase2-gpu-abort", earliest,
+              at.elapsed_s);
+          rr.spans.push_back(s);
+          if (at.ok) {
+            gpu2 = s;
+            if (past_deadline(s.end_s)) cancelled = true;
+            break;
+          }
+          rr.faults.gpu_aborts++;
+          if (past_deadline(s.end_s)) {
+            cancelled = true;
+            break;
+          }
+          if (rr.faults.gpu_aborts >= rp.gpu_failures_before_degrade) {
+            degraded = true;
+            degrade_at = std::max(degrade_at, s.end_s);
+            break;
+          }
+          rr.faults.retries++;
+          const double wait = backoff_for(rr.faults.gpu_aborts);
+          rr.faults.backoff_s += wait;
+          earliest = s.end_s + wait;
+        }
+      }
+    }
 
     // ---- Phase III: the double-ended queue occupies both devices from
-    // their current frontiers (which already include any skew the pipeline
-    // introduced — an early GPU steals more units, exactly as on hardware).
-    const double cpu_q_start =
-        std::max({cpu.now(), analyze.end_s, cpu2.end_s});
-    const double gpu_q_start =
-        std::max({gpu.now(), analyze.end_s, tx_in.end_s, gpu2.end_s});
-    WorkQueueResult q =
-        run_phase3(a, b, plan, req.options.queue, cpu_q_start, gpu_q_start,
-                   platform_, pool_, ws);
-    rep.phase3_cpu_s = q.cpu_busy;
-    rep.phase3_gpu_s = q.gpu_busy;
-    rep.phase3_s = HeteroPlatform::overlap(q.cpu_busy, q.gpu_busy);
-    rep.queue_cpu_units = q.cpu_units;
-    rep.queue_gpu_units = q.gpu_units;
-    const StageSpan q_cpu = cpu.reserve("phase3-cpu", cpu_q_start, q.cpu_busy);
-    const StageSpan q_gpu = gpu.reserve("phase3-gpu", gpu_q_start, q.gpu_busy);
+    // their current frontiers. A degraded request re-plans the queue with
+    // the GPU never joining: every unit runs on the CPU end — the CPU-only
+    // Gustavson path — and the tuple stream (hence the output) is unchanged.
+    bool q_ran = false;
+    if (!cancelled) {
+      const double cpu_q_start =
+          std::max({cpu.now(), analyze.end_s, cpu2.end_s});
+      const double gpu_q_start =
+          degraded ? kGpuNeverJoins
+                   : std::max({gpu.now(), analyze.end_s, tx_in_last.end_s,
+                               gpu2.end_s});
+      q = run_phase3(a, b, plan, req.options.queue, cpu_q_start, gpu_q_start,
+                     platform_, pool_, ws);
+      q_ran = true;
+      rep.phase3_cpu_s = q.cpu_busy;
+      rep.phase3_gpu_s = q.gpu_busy;
+      rep.phase3_s = HeteroPlatform::overlap(q.cpu_busy, q.gpu_busy);
+      rep.queue_cpu_units = q.cpu_units;
+      rep.queue_gpu_units = q.gpu_units;
+      q_cpu = cpu.reserve("phase3-cpu", cpu_q_start, stalled(q.cpu_busy));
+      rr.spans.push_back(q_cpu);
+      if (past_deadline(q_cpu.end_s)) cancelled = true;
 
-    // ---- D2H shipment of the GPU tuples, then the Phase IV merge.
-    const std::int64_t gpu_tuples = p2.ll_stats.tuples + q.gpu_stats.tuples;
-    rep.transfer_out_s =
-        platform_.link().d2h().tuple_transfer_time(gpu_tuples);
-    const StageSpan tx_out =
-        d2h.reserve("d2h-tuples", q_gpu.end_s, rep.transfer_out_s);
+      StageSpan q_gpu{"phase3-gpu", Resource::kGpu, gpu2.end_s, gpu2.end_s};
+      if (!cancelled && !degraded && q.gpu_busy > 0) {
+        double earliest = gpu_q_start;
+        for (;;) {
+          const DeviceAttempt at =
+              platform_.gpu().kernel_attempt(q.gpu_stats, fi);
+          // The queue's GPU share executes as one fault domain: an abort
+          // re-runs the whole share (its units were a single stream of
+          // back-to-back launches feeding one tuple buffer).
+          const double dur = at.ok ? q.gpu_busy : at.elapsed_s;
+          const StageSpan s = gpu.reserve(
+              at.ok ? "phase3-gpu" : "phase3-gpu-abort", earliest, dur);
+          rr.spans.push_back(s);
+          if (at.ok) {
+            q_gpu = s;
+            if (past_deadline(s.end_s)) cancelled = true;
+            break;
+          }
+          rr.faults.gpu_aborts++;
+          if (past_deadline(s.end_s)) {
+            cancelled = true;
+            break;
+          }
+          if (rr.faults.gpu_aborts >= rp.gpu_failures_before_degrade) {
+            degraded = true;
+            degrade_at = std::max(degrade_at, s.end_s);
+            break;
+          }
+          rr.faults.retries++;
+          const double wait = backoff_for(rr.faults.gpu_aborts);
+          rr.faults.backoff_s += wait;
+          earliest = s.end_s + wait;
+        }
+      }
+
+      // ---- D2H shipment of the GPU tuples (skipped when degraded: the CPU
+      // recomputes the GPU share locally, nothing crosses the link).
+      if (!cancelled && !degraded) {
+        const std::int64_t gpu_tuples =
+            p2.ll_stats.tuples + q.gpu_stats.tuples;
+        if (gpu_tuples > 0) {
+          int failures = 0;
+          double earliest = std::max(gpu2.end_s, q_gpu.end_s);
+          for (;;) {
+            const DeviceAttempt at =
+                platform_.link().d2h().tuple_transfer_attempt(gpu_tuples, fi);
+            const char* name = at.ok               ? "d2h-tuples"
+                               : at.corrupt        ? "d2h-tuples-corrupt"
+                                                   : "d2h-tuples-fault";
+            const StageSpan s = d2h.reserve(name, earliest, at.elapsed_s);
+            rr.spans.push_back(s);
+            rep.transfer_out_s += at.elapsed_s;
+            if (at.ok) {
+              tx_out = s;
+              if (past_deadline(s.end_s)) cancelled = true;
+              break;
+            }
+            rr.faults.d2h_faults++;
+            if (at.corrupt) rr.faults.corruptions++;
+            ++failures;
+            if (past_deadline(s.end_s)) {
+              cancelled = true;
+              break;
+            }
+            if (failures >= rp.max_attempts) {
+              degraded = true;
+              degrade_at = std::max(degrade_at, s.end_s);
+              break;
+            }
+            rr.faults.retries++;
+            const double wait = backoff_for(failures);
+            rr.faults.backoff_s += wait;
+            earliest = s.end_s + wait;
+          }
+        }
+      }
+
+      // ---- Degraded re-plan: the CPU redoes the GPU's share (Phase II
+      // A_L×B_L and whatever the queue had assigned to the GPU) with its
+      // own cost model. Numerically this is the same host-side Gustavson
+      // work that produced the tuples, so the output bits are unchanged.
+      if (!cancelled && degraded) {
+        const double extra =
+            platform_.cpu().kernel_time(p2.ll_stats, plan.ws_bl_bytes,
+                                        /*rewritten=*/true,
+                                        /*blockable=*/false) +
+            platform_.cpu().kernel_time(q.gpu_stats, plan.ws_bl_bytes,
+                                        /*rewritten=*/true,
+                                        /*blockable=*/false);
+        if (extra > 0) {
+          deg = cpu.reserve("degraded-cpu-replan",
+                            std::max({q_cpu.end_s, cpu2.end_s, degrade_at}),
+                            extra);
+          rr.spans.push_back(deg);
+          if (past_deadline(deg.end_s)) cancelled = true;
+        }
+      }
+    }
 
     rep.flops = p2.hh_stats.flops + p2.ll_stats.flops + q.cpu_stats.flops +
                 q.gpu_stats.flops;
@@ -262,24 +578,60 @@ BatchResult SpgemmService::drain() {
         platform_.link().h2d().matrix_transfer_time(a) +
         (&b != &a ? platform_.link().h2d().matrix_transfer_time(b) : 0.0);
 
-    MergeResult merged =
-        run_phase4(std::move(p2), std::move(q), platform_, pool_, ws);
-    rep.merge = merged.merge;
-    rep.phase4_s = merged.cpu_s;
-    const StageSpan merge = cpu.reserve(
-        "merge", std::max(q_cpu.end_s, tx_out.end_s), merged.cpu_s);
+    // ---- Phase IV merge (consumes the tuple buffers, releasing pooled
+    // ones, so it runs whenever Phase III did — even for a request that is
+    // already past its deadline, so cancellation never leaks a pooled
+    // buffer). A request cancelled before Phase III releases the Phase II
+    // buffers directly.
+    if (p2_live && !q_ran) {
+      if (ws != nullptr) {
+        ws->release_coo(std::move(p2.hh_tuples));
+        ws->release_coo(std::move(p2.ll_tuples));
+      }
+      p2_live = false;
+    } else if (p2_live) {
+      merged = run_phase4(std::move(p2), std::move(q), platform_, pool_, ws);
+      p2_live = false;
+      rep.merge = merged.merge;
+      rep.phase4_s = merged.cpu_s;
+      if (!cancelled) {
+        merge = cpu.reserve(
+            "merge",
+            std::max({q_cpu.end_s, tx_out.end_s, deg.end_s, cpu2.end_s}),
+            stalled(merged.cpu_s));
+        rr.spans.push_back(merge);
+        if (past_deadline(merge.end_s)) {
+          cancelled = true;
+        } else {
+          have_output = true;
+        }
+      }
+    }
 
     // ---- Request accounting.
-    rr.start_s = std::min(analyze.start_s,
-                          tx_in_s > 0 ? tx_in.start_s : analyze.start_s);
-    rr.finish_s = merge.end_s;
-    rr.queue_wait_s = rr.start_s - rr.submit_s;
-    rr.latency_s = rr.finish_s - rr.submit_s;
-    rep.output_nnz = merged.c.nnz();
-    rep.total_s = rr.latency_s;
-    rr.spans = {analyze, tx_in, cpu2, gpu2, q_cpu, q_gpu, tx_out, merge};
     std::erase_if(rr.spans,
                   [](const StageSpan& s) { return s.duration_s() <= 0; });
+    rr.start_s = rr.submit_s;
+    rr.finish_s = rr.submit_s;
+    for (std::size_t k = 0; k < rr.spans.size(); ++k) {
+      rr.start_s = k == 0 ? rr.spans[k].start_s
+                          : std::min(rr.start_s, rr.spans[k].start_s);
+      rr.finish_s = std::max(rr.finish_s, rr.spans[k].end_s);
+    }
+    rr.queue_wait_s = rr.start_s - rr.submit_s;
+    rr.latency_s = rr.finish_s - rr.submit_s;
+    rr.degraded_to_cpu = degraded;
+    if (cancelled) {
+      rr.deadline_missed = true;
+      std::ostringstream os;
+      os << "deadline of " << rr.deadline_s << " s exceeded at "
+         << rr.finish_s << " s; request cancelled";
+      rr.status = Status{StatusCode::kDeadlineExceeded, os.str()};
+      // The plan this request rode on is suspect until re-identified.
+      if (cacheable && rr.plan_cache_hit) plan_cache_.quarantine(cache_key);
+    }
+    rep.output_nnz = have_output ? merged.c.nnz() : 0;
+    rep.total_s = rr.latency_s;
 
     makespan = std::max(makespan, rr.finish_s);
     latencies.push_back(rr.latency_s);
@@ -293,7 +645,7 @@ BatchResult SpgemmService::drain() {
                     rep.phase4_s;
 
     RunResult res;
-    res.c = std::move(merged.c);
+    if (have_output) res.c = std::move(merged.c);
     res.report = rep;
     out.results.push_back(std::move(res));
     out.requests.push_back(std::move(rr));
@@ -313,6 +665,14 @@ BatchResult SpgemmService::drain() {
   batch.d2h_busy_s = d2h.busy();
   batch.plan_cache = plan_cache_.stats();
   batch.workspace = workspace_.stats();
+  batch.shed = shed_since_drain_;
+  shed_since_drain_ = 0;
+  for (const RequestReport& r : out.requests) {
+    batch.faults.accumulate(r.faults);
+    if (r.status.ok()) batch.completed++;
+    if (r.degraded_to_cpu) batch.degraded++;
+    if (r.deadline_missed) batch.deadline_missed++;
+  }
   return out;
 }
 

@@ -13,12 +13,27 @@
 //  - partition-plan cache keyed by sparsity signatures (runtime/plan_cache)
 //    — a hit skips threshold identification;
 //  - operand residency — a matrix already uploaded in this service's
-//    lifetime is not re-shipped (device memory is retained across requests);
+//    lifetime is not re-shipped (device memory is retained across requests,
+//    and each resident copy carries a checksum from fault/checksum.hpp);
 //  - workspace pooling (spgemm/workspace.hpp) — SPA accumulators and tuple
 //    buffers are recycled instead of reallocated per request.
 //
-// Every request's output matrix is bit-identical to what a cold, serial
-// run_hh_cpu call produces; only the clock bookkeeping differs. Submitted
+// Fault tolerance (docs/robustness.md): when Config::fault_plan injects
+// faults (fault/fault.hpp), the service recovers per request —
+//  - transient GPU kernel aborts and PCIe failures are retried with
+//    exponential backoff and bounded attempts;
+//  - corrupted transfers are detected by checksum, the residency entry is
+//    invalidated, and the operand is re-uploaded;
+//  - after RecoveryPolicy::gpu_failures_before_degrade GPU-side failures
+//    (or transfer-retry exhaustion) the request degrades to the CPU-only
+//    Gustavson path: the GPU's share is re-charged on the CPU timeline and
+//    no PCIe traffic is scheduled;
+//  - per-request deadlines cancel a request that cannot finish in time, and
+//    a bounded admission queue sheds load at submit().
+// Numeric work always executes host-side with the same decomposition, so
+// every completed request's output matrix — retried, degraded, or not — is
+// bit-identical to what a cold, serial, fault-free run_hh_cpu call
+// produces; only the simulated clock bookkeeping differs. Submitted
 // matrices must stay alive and unmodified until drain() returns.
 #pragma once
 
@@ -26,16 +41,17 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "core/hh_cpu.hpp"
 #include "core/report.hpp"
 #include "device/platform.hpp"
+#include "fault/fault.hpp"
 #include "runtime/plan_cache.hpp"
 #include "runtime/timeline.hpp"
 #include "sparse/csr.hpp"
 #include "spgemm/workspace.hpp"
+#include "util/status.hpp"
 #include "util/thread_pool.hpp"
 
 namespace hh {
@@ -45,19 +61,42 @@ struct SpgemmRequest {
   const CsrMatrix* b = nullptr;  // nullptr = self product (B is A)
   HhCpuOptions options;          // explicit thresholds bypass the plan cache
   std::string label;
+  double deadline_s = 0;  // relative to submit; 0 = Config::default_deadline_s
+};
+
+/// Per-request fault/recovery accounting.
+struct FaultRecoveryStats {
+  int gpu_aborts = 0;   // injected GPU kernel aborts seen
+  int h2d_faults = 0;   // injected H2D failures + corruptions
+  int d2h_faults = 0;
+  int corruptions = 0;  // subset of transfer faults caught by checksum
+  int cpu_stalls = 0;   // injected CPU worker stalls
+  int retries = 0;      // re-executed attempts (all resources)
+  double backoff_s = 0;  // total exponential-backoff delay inserted
+
+  int total_faults() const {
+    return gpu_aborts + h2d_faults + d2h_faults + cpu_stalls;
+  }
+  void accumulate(const FaultRecoveryStats& o);
 };
 
 /// Per-request accounting: the familiar RunReport (phase durations) plus the
-/// pipeline view — queue wait, absolute stage spans, cache/residency flags.
+/// pipeline view — queue wait, absolute stage spans, cache/residency flags —
+/// and the fault/recovery outcome.
 struct RequestReport {
   RunReport run;  // run.total_s is the request latency
   std::size_t request_id = 0;
   std::string label;
+  Status status;  // ok, or kDeadlineExceeded when cancelled
   bool plan_cache_hit = false;
   bool inputs_resident = false;  // no bytes crossed H2D for this request
+  bool degraded_to_cpu = false;  // GPU share re-planned onto the CPU
+  bool deadline_missed = false;  // cancelled: no output produced
+  FaultRecoveryStats faults;
+  double deadline_s = 0;    // effective relative deadline (0 = none)
   double submit_s = 0;
   double start_s = 0;       // first stage begins
-  double finish_s = 0;      // merge ends
+  double finish_s = 0;      // merge ends (or cancellation point)
   double queue_wait_s = 0;  // start_s - submit_s
   double latency_s = 0;     // finish_s - submit_s
   std::vector<StageSpan> spans;
@@ -69,6 +108,11 @@ struct RequestReport {
 /// Batch-level accounting across one drain().
 struct BatchReport {
   std::size_t requests = 0;
+  std::size_t completed = 0;        // status ok (with or without recovery)
+  std::size_t degraded = 0;         // finished on the CPU-only path
+  std::size_t deadline_missed = 0;  // cancelled
+  std::size_t shed = 0;             // rejected at submit since last drain
+  FaultRecoveryStats faults;        // aggregated over the batch
   double makespan_s = 0;             // last finish over all requests
   double sequential_estimate_s = 0;  // first-order back-to-back serial cost
                                      // of the same work (cold transfers,
@@ -89,9 +133,19 @@ struct BatchReport {
 
 struct BatchResult {
   std::vector<RunResult> results;  // submit order; results[i].report is the
-                                   // same RunReport as requests[i].run
+                                   // same RunReport as requests[i].run. A
+                                   // cancelled request's matrix is empty and
+                                   // its report carries the deadline status.
   std::vector<RequestReport> requests;
   BatchReport batch;
+};
+
+/// How the service recovers from injected faults.
+struct RecoveryPolicy {
+  int max_attempts = 4;  // per transfer/kernel op, including the first try
+  double backoff_base_s = 1e-4;   // wait before the 2nd attempt...
+  double backoff_multiplier = 2;  // ...growing geometrically
+  int gpu_failures_before_degrade = 3;  // per request, across all GPU stages
 };
 
 class SpgemmService {
@@ -100,6 +154,10 @@ class SpgemmService {
     std::size_t plan_cache_capacity = 64;
     bool keep_inputs_resident = true;  // uploaded operands stay on the device
     bool use_workspace_pool = true;
+    FaultPlan fault_plan;     // default: fault-free
+    RecoveryPolicy recovery;
+    std::size_t admission_capacity = 0;  // max pending; 0 = unbounded
+    double default_deadline_s = 0;       // per-request default; 0 = none
   };
 
   SpgemmService(const HeteroPlatform& platform, ThreadPool& pool,
@@ -108,7 +166,11 @@ class SpgemmService {
       : SpgemmService(platform, pool, Config{}) {}
 
   /// Enqueue; returns the request id (drain-order index). The matrices must
-  /// outlive the next drain() and must not be modified.
+  /// outlive the next drain() and must not be modified. Throws
+  /// InvalidArgumentError on a malformed request (null/degenerate operands,
+  /// incompatible shapes, negative thresholds/deadline/queue knobs) and
+  /// AdmissionError when the bounded admission queue is full (the shed is
+  /// counted in the next BatchReport).
   std::size_t submit(SpgemmRequest request);
 
   std::size_t pending() const { return queue_.size(); }
@@ -119,6 +181,7 @@ class SpgemmService {
 
   PlanCache& plan_cache() { return plan_cache_; }
   WorkspacePool& workspace_pool() { return workspace_; }
+  const FaultInjector& fault_injector() const { return injector_; }
 
   /// Drop device residency and cached host-side signatures (e.g. after the
   /// caller mutated or freed previously-submitted matrices).
@@ -132,11 +195,14 @@ class SpgemmService {
   Config config_;
   PlanCache plan_cache_;
   WorkspacePool workspace_;
+  FaultInjector injector_;
   std::vector<SpgemmRequest> queue_;
   std::size_t next_id_ = 0;
+  std::size_t shed_since_drain_ = 0;
   // Host-side memos, keyed by operand identity (see submit() contract).
   std::unordered_map<const CsrMatrix*, MatrixSignature> signatures_;
-  std::unordered_set<const CsrMatrix*> resident_;
+  // Device residency: operand → checksum of the uploaded copy.
+  std::unordered_map<const CsrMatrix*, std::uint64_t> resident_;
 };
 
 }  // namespace hh

@@ -14,7 +14,9 @@ namespace hh {
 
 /// Reads "matrix coordinate (real|integer|pattern) (general|symmetric)".
 /// Pattern entries get value 1.0; symmetric inputs are mirrored.
-/// Throws CheckError on malformed input.
+/// Throws ParseError (util/status.hpp) on malformed input: bad banner,
+/// non-numeric tokens, out-of-range indices, dimensions that overflow the
+/// index type, entry counts exceeding rows*cols, truncation, trailing junk.
 CsrMatrix read_matrix_market(std::istream& in);
 CsrMatrix read_matrix_market_file(const std::string& path);
 

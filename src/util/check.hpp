@@ -6,15 +6,19 @@
 #pragma once
 
 #include <sstream>
-#include <stdexcept>
 #include <string>
+
+#include "util/status.hpp"
 
 namespace hh {
 
-/// Error thrown when a checked invariant fails.
-class CheckError : public std::runtime_error {
+/// Error thrown when a checked invariant fails. Part of the HhError
+/// taxonomy (util/status.hpp) with code kInternal: a failed check is a
+/// library bug, not an operational condition.
+class CheckError : public HhError {
  public:
-  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+  explicit CheckError(const std::string& what)
+      : HhError(StatusCode::kInternal, what) {}
 };
 
 namespace detail {

@@ -6,7 +6,7 @@
 
 #include "sparse/equality.hpp"
 #include "test_util.hpp"
-#include "util/check.hpp"
+#include "util/status.hpp"
 
 namespace hh {
 namespace {
@@ -56,30 +56,123 @@ TEST(MmIo, SkipsComments) {
   EXPECT_DOUBLE_EQ(m.values[0], 4.5);
 }
 
-TEST(MmIo, RejectsMissingBanner) {
-  std::stringstream ss("1 1 1\n1 1 4.5\n");
-  EXPECT_THROW(read_matrix_market(ss), CheckError);
+// ---- Malformed-input corpus: every rejection is a typed ParseError (a
+// HhError with StatusCode::kParseError), never a silent mis-parse.
+
+void expect_parse_error(const std::string& text) {
+  std::stringstream ss(text);
+  try {
+    read_matrix_market(ss);
+    FAIL() << "accepted malformed input:\n" << text;
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kParseError) << e.what();
+  }
+}
+
+TEST(MmIo, RejectsEmptyStream) { expect_parse_error(""); }
+
+TEST(MmIo, RejectsMissingBanner) { expect_parse_error("1 1 1\n1 1 4.5\n"); }
+
+TEST(MmIo, RejectsUnsupportedObject) {
+  expect_parse_error("%%MatrixMarket vector coordinate real general\n1 1 0\n");
 }
 
 TEST(MmIo, RejectsArrayFormat) {
-  std::stringstream ss("%%MatrixMarket matrix array real general\n2 2\n");
-  EXPECT_THROW(read_matrix_market(ss), CheckError);
+  expect_parse_error("%%MatrixMarket matrix array real general\n2 2\n");
+}
+
+TEST(MmIo, RejectsComplexField) {
+  expect_parse_error(
+      "%%MatrixMarket matrix coordinate complex general\n1 1 0\n");
+}
+
+TEST(MmIo, RejectsUnknownSymmetry) {
+  expect_parse_error(
+      "%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n");
+}
+
+TEST(MmIo, RejectsMissingSizeLine) {
+  expect_parse_error(
+      "%%MatrixMarket matrix coordinate real general\n% only comments\n");
+}
+
+TEST(MmIo, RejectsNonNumericSizeLine) {
+  expect_parse_error(
+      "%%MatrixMarket matrix coordinate real general\nthree by three\n");
+}
+
+TEST(MmIo, RejectsPartialSizeLine) {
+  expect_parse_error("%%MatrixMarket matrix coordinate real general\n3 3\n");
+}
+
+TEST(MmIo, RejectsNegativeDimensions) {
+  expect_parse_error(
+      "%%MatrixMarket matrix coordinate real general\n-2 2 0\n");
+}
+
+TEST(MmIo, RejectsDimensionOverflow) {
+  // 3e9 rows does not fit the 32-bit index type; must not wrap silently.
+  expect_parse_error(
+      "%%MatrixMarket matrix coordinate real general\n3000000000 5 1\n"
+      "1 1 1.0\n");
+}
+
+TEST(MmIo, RejectsEntryCountExceedingCells) {
+  expect_parse_error(
+      "%%MatrixMarket matrix coordinate real general\n2 2 5\n"
+      "1 1 1\n1 2 1\n2 1 1\n2 2 1\n1 1 2\n");
+}
+
+TEST(MmIo, RejectsNonNumericEntryTokens) {
+  // operator>> would otherwise leave r=c=0 and "accept" an out-of-range 0 0.
+  expect_parse_error(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\nx y z\n");
+}
+
+TEST(MmIo, RejectsNonNumericValue) {
+  expect_parse_error(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 NaNopeN\n");
+}
+
+TEST(MmIo, RejectsMissingValueToken) {
+  expect_parse_error(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n");
+}
+
+TEST(MmIo, RejectsTrailingJunkOnEntry) {
+  expect_parse_error(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 4.5 oops\n");
+}
+
+TEST(MmIo, RejectsTrailingJunkOnSizeLine) {
+  expect_parse_error(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1 junk\n1 1 4.5\n");
 }
 
 TEST(MmIo, RejectsOutOfRangeEntry) {
-  std::stringstream ss(
-      "%%MatrixMarket matrix coordinate real general\n"
-      "2 2 1\n"
-      "3 1 1.0\n");
-  EXPECT_THROW(read_matrix_market(ss), CheckError);
+  expect_parse_error(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n");
+}
+
+TEST(MmIo, RejectsZeroBasedEntry) {
+  expect_parse_error(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n");
 }
 
 TEST(MmIo, RejectsTruncatedEntries) {
-  std::stringstream ss(
-      "%%MatrixMarket matrix coordinate real general\n"
-      "2 2 2\n"
-      "1 1 1.0\n");
-  EXPECT_THROW(read_matrix_market(ss), CheckError);
+  expect_parse_error(
+      "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n");
+}
+
+TEST(MmIo, ParseErrorIsAlsoCatchableAsHhError) {
+  std::stringstream ss("not a matrix\n");
+  try {
+    read_matrix_market(ss);
+    FAIL() << "accepted malformed input";
+  } catch (const HhError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kParseError);
+    EXPECT_FALSE(e.status().ok());
+  }
 }
 
 TEST(MmIo, FileRoundTrip) {
@@ -92,7 +185,7 @@ TEST(MmIo, FileRoundTrip) {
 }
 
 TEST(MmIo, MissingFileThrows) {
-  EXPECT_THROW(read_matrix_market_file("/nonexistent/nope.mtx"), CheckError);
+  EXPECT_THROW(read_matrix_market_file("/nonexistent/nope.mtx"), ParseError);
 }
 
 }  // namespace

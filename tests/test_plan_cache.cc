@@ -113,5 +113,39 @@ TEST(PlanCache, RejectsZeroCapacity) {
   EXPECT_THROW(PlanCache(0), CheckError);
 }
 
+TEST(PlanCache, QuarantineDropsEntryAndCounts) {
+  PlanCache cache(4);
+  const PlanKey k1{sig(1, 1), sig(1, 1)};
+  const PlanKey k2{sig(2, 2), sig(2, 2)};
+  cache.insert(k1, {1, 1});
+  cache.insert(k2, {2, 2});
+  EXPECT_TRUE(cache.quarantine(k1));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().quarantines, 1);
+  EXPECT_FALSE(cache.lookup(k1).has_value());  // gone: forces re-identify
+  EXPECT_TRUE(cache.lookup(k2).has_value());   // unrelated entry untouched
+  // Quarantining an absent key is a no-op.
+  EXPECT_FALSE(cache.quarantine(k1));
+  EXPECT_EQ(cache.stats().quarantines, 1);
+  // A re-insert after quarantine behaves like a fresh entry.
+  cache.insert(k1, {5, 5});
+  EXPECT_EQ(cache.lookup(k1)->threshold_a, 5);
+}
+
+TEST(PlanCache, QuarantineKeepsLruListConsistent) {
+  PlanCache cache(2);
+  const PlanKey k1{sig(1, 1), sig(1, 1)};
+  const PlanKey k2{sig(2, 2), sig(2, 2)};
+  const PlanKey k3{sig(3, 3), sig(3, 3)};
+  cache.insert(k1, {1, 1});
+  cache.insert(k2, {2, 2});
+  cache.quarantine(k2);  // frees a slot
+  cache.insert(k3, {3, 3});
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 0);  // no eviction was needed
+  EXPECT_TRUE(cache.lookup(k1).has_value());
+  EXPECT_TRUE(cache.lookup(k3).has_value());
+}
+
 }  // namespace
 }  // namespace hh

@@ -6,6 +6,7 @@
 #include "gen/datasets.hpp"
 #include "runtime/timeline.hpp"
 #include "test_util.hpp"
+#include "util/status.hpp"
 
 namespace hh {
 namespace {
@@ -212,6 +213,55 @@ TEST_F(ServiceTest, ReportsAreInternallyConsistent) {
   EXPECT_NE(rj.find("\"stages\":["), std::string::npos);
   EXPECT_NE(rj.find("\"run\":{"), std::string::npos);
   EXPECT_EQ(rj.find('\n'), std::string::npos);
+}
+
+TEST_F(ServiceTest, SubmitRejectsMalformedRequestsWithTypedErrors) {
+  SpgemmService service(plat_, pool_);
+
+  // Null A operand.
+  EXPECT_THROW(service.submit({nullptr, nullptr, {}, ""}),
+               InvalidArgumentError);
+
+  // Degenerate (empty) operand.
+  CsrMatrix empty;
+  EXPECT_THROW(service.submit({&empty, nullptr, {}, ""}),
+               InvalidArgumentError);
+
+  // Incompatible shapes: A.cols != B.rows.
+  const CsrMatrix a = test::random_csr(10, 7, 0.3, 1);
+  const CsrMatrix b = test::random_csr(9, 5, 0.3, 2);
+  try {
+    service.submit({&a, &b, {}, "shapes"});
+    FAIL() << "expected InvalidArgumentError";
+  } catch (const InvalidArgumentError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(std::string(e.what()).find("incompatible"), std::string::npos);
+  }
+
+  // Inconsistent CSR arrays (indptr not matching indices).
+  CsrMatrix broken = a;
+  broken.indptr.back() += 1;
+  EXPECT_THROW(service.submit({&broken, nullptr, {}, ""}),
+               InvalidArgumentError);
+
+  // Inverted/negative thresholds and negative queue knobs.
+  SpgemmRequest neg_t{&wiki_, nullptr, {}, ""};
+  neg_t.options.threshold_a = -3;
+  EXPECT_THROW(service.submit(std::move(neg_t)), InvalidArgumentError);
+  SpgemmRequest neg_q{&wiki_, nullptr, {}, ""};
+  neg_q.options.queue.cpu_rows = -1;
+  EXPECT_THROW(service.submit(std::move(neg_q)), InvalidArgumentError);
+
+  // Negative deadline.
+  SpgemmRequest neg_d{&wiki_, nullptr, {}, ""};
+  neg_d.deadline_s = -1.0;
+  EXPECT_THROW(service.submit(std::move(neg_d)), InvalidArgumentError);
+
+  // Nothing malformed was admitted; a healthy request still goes through.
+  EXPECT_EQ(service.pending(), 0u);
+  service.submit({&wiki_, nullptr, {}, "ok"});
+  EXPECT_EQ(service.pending(), 1u);
+  EXPECT_TRUE(service.drain().requests[0].status.ok());
 }
 
 TEST_F(ServiceTest, WorkspacePoolingPreservesResults) {
