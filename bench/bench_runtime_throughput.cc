@@ -18,12 +18,19 @@
 //
 // Prints one JSON object per part (last two lines) with the batch
 // percentiles, makespans, and fault/recovery counters.
+// The faulted drain records a structured trace (unless HH_TRACE_OUT is set
+// to an empty string) and exports it as Chrome trace-event / Perfetto JSON
+// to HH_TRACE_OUT (default bench_runtime_trace.json) — load it at
+// https://ui.perfetto.dev to see the four resource tracks, per-request flow
+// arrows and fault/retry/degrade instants.
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "runtime/service.hpp"
+#include "trace/perfetto_export.hpp"
 
 namespace {
 
@@ -119,6 +126,15 @@ int main() {
   cfg.fault_plan.d2h.rate = pcie_rate;
   cfg.fault_plan.cpu_worker.rate = 0.05;
   cfg.keep_inputs_resident = false;  // every request pays a faultable upload
+
+  const char* trace_env = std::getenv("HH_TRACE_OUT");
+  const std::string trace_path =
+      trace_env != nullptr ? trace_env : "bench_runtime_trace.json";
+  TraceRecorder recorder;
+  if (!trace_path.empty()) {
+    recorder.enable();
+    cfg.trace = &recorder;
+  }
   SpgemmService faulted(platform, pool, cfg);
 
   std::printf("\n== under fault injection: gpu rate %.2f, pcie rate %.2f, "
@@ -168,9 +184,22 @@ int main() {
                   batch.batch.makespan_s,
               static_cast<double>(under_faults.batch.requests) /
                   under_faults.batch.makespan_s);
+  if (recorder.enabled()) {
+    if (write_chrome_trace(recorder, trace_path)) {
+      std::printf("trace: %zu events -> %s (load in ui.perfetto.dev)\n",
+                  recorder.events().size(), trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "WARNING: could not write trace to %s\n",
+                   trace_path.c_str());
+    }
+    std::printf("\nlifetime metrics of the faulted service:\n%s\n",
+                faulted.metrics().to_string().c_str());
+  }
+
   std::printf("{\"faulted_batch\":%s,\"gpu_rate\":%.9g,\"pcie_rate\":%.9g,"
-              "\"seed\":%llu}\n",
+              "\"seed\":%llu,\"trace_events\":%zu}\n",
               under_faults.batch.to_json().c_str(), gpu_rate, pcie_rate,
-              static_cast<unsigned long long>(cfg.fault_plan.seed));
+              static_cast<unsigned long long>(cfg.fault_plan.seed),
+              recorder.events().size());
   return 0;
 }

@@ -5,11 +5,16 @@
 // partition-plan cache and find their operands already resident on the
 // device.
 //
+// Both drains are recorded with a TraceRecorder; the example finishes by
+// exporting service_loop_trace.json (Chrome trace-event / Perfetto format)
+// and printing the service's lifetime metrics registry.
+//
 //   ./service_loop
 #include <cstdio>
 
 #include "gen/datasets.hpp"
 #include "runtime/service.hpp"
+#include "trace/perfetto_export.hpp"
 #include "util/thread_pool.hpp"
 
 int main() {
@@ -22,7 +27,11 @@ int main() {
   const CsrMatrix enron = make_dataset(dataset_spec("email-Enron"), scale);
   const CsrMatrix wiki = make_dataset(dataset_spec("wiki-Vote"), scale);
 
-  SpgemmService service(platform, pool);
+  TraceRecorder recorder;
+  recorder.enable();
+  SpgemmService::Config cfg;
+  cfg.trace = &recorder;
+  SpgemmService service(platform, pool, cfg);
 
   // Batch 1: two cold squarings. Everything is a plan-cache miss and both
   // matrices cross the H2D channel.
@@ -47,5 +56,12 @@ int main() {
 
   std::printf("\nwarm vs cold makespan: %.3f ms vs %.3f ms\n",
               second.batch.makespan_s * 1e3, first.batch.makespan_s * 1e3);
+
+  const char* trace_path = "service_loop_trace.json";
+  if (write_chrome_trace(recorder, trace_path)) {
+    std::printf("\ntrace: %zu events -> %s (load in ui.perfetto.dev)\n",
+                recorder.events().size(), trace_path);
+  }
+  std::printf("\nlifetime metrics:\n%s", service.metrics().to_string().c_str());
   return 0;
 }

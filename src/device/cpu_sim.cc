@@ -49,9 +49,16 @@ double CpuSim::merge_time(std::int64_t tuples) const {
   return cycles / (static_cast<double>(cm_.cores) * cm_.parallel_eff * clock);
 }
 
+DeviceAttempt CpuSim::stall_attempt(FaultInjector* fi) const {
+  if (fi == nullptr) return {true, false, 0, kNoDeviceOp};
+  const FaultDecision d = fi->next(FaultSite::kCpuWorker);
+  // Stalls delay but never fail: the attempt is ok, elapsed_s is the extra
+  // occupancy the stage pays.
+  return {true, false, d.stall_s, d.op};
+}
+
 double CpuSim::stall_s(FaultInjector* fi) const {
-  if (fi == nullptr) return 0;
-  return fi->next(FaultSite::kCpuWorker).stall_s;
+  return stall_attempt(fi).elapsed_s;
 }
 
 double CpuSim::classify_time(std::int64_t rows) const {

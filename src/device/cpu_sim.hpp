@@ -39,7 +39,10 @@ class CpuSim {
 
   /// Injected worker stall for the next CPU stage: extra simulated
   /// occupancy, 0 when healthy or when `fi` is nullptr. Stalls delay but
-  /// never fail — the stage's numeric result is unaffected.
+  /// never fail — the stage's numeric result is unaffected. stall_attempt
+  /// additionally reports the injector op index consumed (always ok; the
+  /// stall is elapsed_s), for trace identity.
+  DeviceAttempt stall_attempt(FaultInjector* fi) const;
   double stall_s(FaultInjector* fi) const;
 
   const CpuCostModel& model() const { return cm_; }

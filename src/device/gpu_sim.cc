@@ -35,14 +35,16 @@ double GpuSim::kernel_time(const ProductStats& s) const {
 DeviceAttempt GpuSim::kernel_attempt(const ProductStats& s,
                                      FaultInjector* fi) const {
   const double t = kernel_time(s);
-  if (t <= 0) return {true, false, 0};
+  if (t <= 0) return {true, false, 0, kNoDeviceOp};
   if (fi != nullptr) {
     const FaultDecision d = fi->next(FaultSite::kGpuKernel);
     if (d.fault) {
-      return {false, false, std::max(cm_.kernel_launch_s, d.fraction * t)};
+      return {false, false, std::max(cm_.kernel_launch_s, d.fraction * t),
+              d.op};
     }
+    return {true, false, t, d.op};
   }
-  return {true, false, t};
+  return {true, false, t, kNoDeviceOp};
 }
 
 double GpuSim::generic_time(const ProductStats& s) const {

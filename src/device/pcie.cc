@@ -18,7 +18,7 @@ double PcieChannel::tuple_transfer_time(std::int64_t n) const {
 DeviceAttempt PcieChannel::transfer_attempt(double bytes,
                                             FaultInjector* fi) const {
   const double t = transfer_time(bytes);
-  if (t <= 0) return {true, false, 0};
+  if (t <= 0) return {true, false, 0, kNoDeviceOp};
   if (fi != nullptr) {
     const FaultDecision d =
         fi->next(dir_ == PcieDir::kH2D ? FaultSite::kH2D : FaultSite::kD2H);
@@ -28,10 +28,11 @@ DeviceAttempt PcieChannel::transfer_attempt(double bytes,
       // than the link latency.
       const double elapsed =
           d.corrupt ? t : std::max(cm_.latency_s, d.fraction * t);
-      return {false, d.corrupt, elapsed};
+      return {false, d.corrupt, elapsed, d.op};
     }
+    return {true, false, t, d.op};
   }
-  return {true, false, t};
+  return {true, false, t, kNoDeviceOp};
 }
 
 DeviceAttempt PcieChannel::matrix_transfer_attempt(const CsrMatrix& m,

@@ -90,13 +90,21 @@ struct FaultCounters {
   double stall_s = 0;
 };
 
+/// Sentinel op index for attempts that consumed no injector operation
+/// (no-work ops, or runs without an injector).
+inline constexpr std::uint64_t kNoDeviceOp = static_cast<std::uint64_t>(-1);
+
 /// Outcome of one fault-aware device operation (a kernel launch, one
 /// direction of a PCIe transfer, a CPU stage). elapsed_s is the simulated
-/// time the attempt occupied its resource whether or not it succeeded.
+/// time the attempt occupied its resource whether or not it succeeded. op is
+/// the injector's site-local op index the attempt consumed (kNoDeviceOp when
+/// none): it ties every attempt in a trace back to the deterministic fault
+/// schedule, so a trace can be reconciled op-by-op against FaultCounters.
 struct DeviceAttempt {
   bool ok = true;
   bool corrupt = false;  // failed checksum verification after the transfer
   double elapsed_s = 0;
+  std::uint64_t op = kNoDeviceOp;
 };
 
 class FaultInjector {

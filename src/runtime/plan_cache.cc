@@ -1,5 +1,6 @@
 #include "runtime/plan_cache.hpp"
 
+#include "trace/metrics.hpp"
 #include "util/check.hpp"
 
 namespace hh {
@@ -8,13 +9,32 @@ PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity) {
   HH_CHECK_MSG(capacity > 0, "plan cache capacity must be positive");
 }
 
+void PlanCache::bind_metrics(MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  publish_size();
+}
+
+void PlanCache::count(const char* name) const {
+  if (metrics_ != nullptr) {
+    metrics_->counter(std::string("plan_cache.") + name).inc();
+  }
+}
+
+void PlanCache::publish_size() const {
+  if (metrics_ != nullptr) {
+    metrics_->gauge("plan_cache.size").set(static_cast<double>(map_.size()));
+  }
+}
+
 std::optional<CachedPlan> PlanCache::lookup(const PlanKey& key) {
   const auto it = map_.find(key);
   if (it == map_.end()) {
     ++stats_.misses;
+    count("misses");
     return std::nullopt;
   }
   ++stats_.hits;
+  count("hits");
   lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
   return it->second->second;
 }
@@ -28,11 +48,13 @@ void PlanCache::insert(const PlanKey& key, CachedPlan plan) {
   }
   if (map_.size() >= capacity_) {
     ++stats_.evictions;
+    count("evictions");
     map_.erase(lru_.back().first);
     lru_.pop_back();
   }
   lru_.emplace_front(key, plan);
   map_.emplace(key, lru_.begin());
+  publish_size();
 }
 
 bool PlanCache::quarantine(const PlanKey& key) {
@@ -41,12 +63,15 @@ bool PlanCache::quarantine(const PlanKey& key) {
   lru_.erase(it->second);
   map_.erase(it);
   ++stats_.quarantines;
+  count("quarantines");
+  publish_size();
   return true;
 }
 
 void PlanCache::clear() {
   lru_.clear();
   map_.clear();
+  publish_size();
 }
 
 }  // namespace hh

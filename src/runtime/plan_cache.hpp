@@ -24,6 +24,8 @@
 
 namespace hh {
 
+class MetricsRegistry;  // trace/metrics.hpp
+
 struct PlanKey {
   MatrixSignature a;
   MatrixSignature b;
@@ -74,13 +76,21 @@ class PlanCache {
   const Stats& stats() const { return stats_; }
   void clear();
 
+  /// Mirror every hit/miss/eviction/quarantine into `metrics` (counters
+  /// under "plan_cache.*", plus a "plan_cache.size" gauge). Pass nullptr to
+  /// detach. The registry must outlive the cache or the next bind call.
+  void bind_metrics(MetricsRegistry* metrics);
+
  private:
+  void count(const char* name) const;
+  void publish_size() const;
   using LruList = std::list<std::pair<PlanKey, CachedPlan>>;
 
   std::size_t capacity_;
   LruList lru_;  // front = most recent
   std::unordered_map<PlanKey, LruList::iterator, PlanKeyHash> map_;
   Stats stats_;
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace hh

@@ -1,0 +1,34 @@
+// The four independently-clocked channels of the simulated platform, and
+// the occupancy span a scheduler places on one of them.
+//
+// Split out of runtime/timeline.hpp so the structured trace layer
+// (src/trace/) can name resources and spans without depending on the
+// insertion scheduler itself.
+#pragma once
+
+namespace hh {
+
+enum class Resource { kCpu = 0, kGpu = 1, kH2D = 2, kD2H = 3 };
+inline constexpr int kResourceCount = 4;
+
+inline const char* to_string(Resource r) {
+  switch (r) {
+    case Resource::kCpu: return "cpu";
+    case Resource::kGpu: return "gpu";
+    case Resource::kH2D: return "h2d";
+    case Resource::kD2H: return "d2h";
+  }
+  return "?";
+}
+
+/// One scheduled occupancy of a resource.
+struct StageSpan {
+  const char* stage = "";  // static stage name
+  Resource resource = Resource::kCpu;
+  double start_s = 0;
+  double end_s = 0;
+
+  double duration_s() const { return end_s - start_s; }
+};
+
+}  // namespace hh

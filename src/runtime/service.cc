@@ -9,7 +9,9 @@
 #include "core/hh_stages.hpp"
 #include "core/partition_plan.hpp"
 #include "fault/checksum.hpp"
+#include "trace/flame.hpp"
 #include "util/check.hpp"
+#include "util/stats.hpp"
 
 namespace hh {
 namespace {
@@ -37,15 +39,6 @@ std::string faults_json(const FaultRecoveryStats& f) {
      << ",\"cpu_stalls\":" << f.cpu_stalls << ",\"retries\":" << f.retries
      << ",\"backoff_s\":" << jnum(f.backoff_s) << "}";
   return os.str();
-}
-
-/// Nearest-rank percentile over an unsorted sample; q in (0, 1].
-double percentile(std::vector<double> xs, double q) {
-  if (xs.empty()) return 0;
-  std::sort(xs.begin(), xs.end());
-  const auto rank = static_cast<std::size_t>(
-      std::ceil(q * static_cast<double>(xs.size())));
-  return xs[std::min(xs.size(), std::max<std::size_t>(rank, 1)) - 1];
 }
 
 // A GPU "join time" no request can ever reach: passing it as the queue's
@@ -80,6 +73,7 @@ std::string RequestReport::to_string() const {
        << faults.retries << ")";
   }
   os << "\n";
+  if (!flame.empty()) os << "    |" << flame << "|\n";
   for (const StageSpan& s : spans) {
     os << "    " << hh::to_string(s.resource) << "  " << s.stage << "  ["
        << ms(s.start_s) << " .. " << ms(s.end_s) << "]\n";
@@ -137,6 +131,8 @@ std::string BatchReport::to_string() const {
   os << "  workspace pool: " << workspace.spa_reuses << "/"
      << workspace.spa_acquires << " SPA reuses, " << workspace.coo_reuses
      << "/" << workspace.coo_acquires << " tuple-buffer reuses\n";
+  if (!flame.empty()) os << "  schedule (glyph = request id, '.' = idle):\n"
+                         << flame;
   return os.str();
 }
 
@@ -171,7 +167,9 @@ SpgemmService::SpgemmService(const HeteroPlatform& platform, ThreadPool& pool,
       pool_(pool),
       config_(config),
       plan_cache_(config.plan_cache_capacity),
-      injector_(config.fault_plan) {}
+      injector_(config.fault_plan) {
+  plan_cache_.bind_metrics(&metrics_);
+}
 
 namespace {
 
@@ -225,7 +223,7 @@ std::size_t SpgemmService::submit(SpgemmRequest request) {
   validate_request(request);
   if (config_.admission_capacity > 0 &&
       queue_.size() >= config_.admission_capacity) {
-    ++shed_since_drain_;
+    metrics_.counter("service.shed").inc();
     std::ostringstream os;
     os << "admission queue full (" << queue_.size() << "/"
        << config_.admission_capacity << "), request shed";
@@ -253,11 +251,16 @@ BatchResult SpgemmService::drain() {
   out.results.reserve(queue_.size());
   out.requests.reserve(queue_.size());
 
-  // Fresh timelines per drain: the batch clock starts at 0.
-  ResourceTimeline cpu(Resource::kCpu);
-  ResourceTimeline gpu(Resource::kGpu);
-  ResourceTimeline h2d(Resource::kH2D);
-  ResourceTimeline d2h(Resource::kD2H);
+  // Fresh timelines per drain: the batch clock starts at 0. When a recorder
+  // is attached and enabled, every placement the timelines make is traced;
+  // `tr` is nullptr otherwise so instrumentation below is one branch.
+  TraceRecorder* tr = config_.trace != nullptr && config_.trace->enabled()
+                          ? config_.trace
+                          : nullptr;
+  ResourceTimeline cpu(Resource::kCpu, tr);
+  ResourceTimeline gpu(Resource::kGpu, tr);
+  ResourceTimeline h2d(Resource::kH2D, tr);
+  ResourceTimeline d2h(Resource::kD2H, tr);
   WorkspacePool* ws = config_.use_workspace_pool ? &workspace_ : nullptr;
   FaultInjector* fi = config_.fault_plan.enabled() ? &injector_ : nullptr;
   const RecoveryPolicy& rp = config_.recovery;
@@ -276,6 +279,7 @@ BatchResult SpgemmService::drain() {
 
     RequestReport rr;
     rr.request_id = first_id + i;
+    if (tr != nullptr) tr->begin_request(rr.request_id);
     rr.label = req.label;
     rr.submit_s = 0;
     rr.deadline_s =
@@ -296,12 +300,29 @@ BatchResult SpgemmService::drain() {
     };
     // A CPU stage's duration plus any injected worker stall (stalls delay,
     // never fail). Zero-duration stages consume no injector op so the fault
-    // schedule is stable across degenerate partitions.
+    // schedule is stable across degenerate partitions. The stall is decided
+    // before the stage is placed, so its trace instant is deferred until the
+    // placed span is known — call note_stall(span) after the reserve.
+    double pending_stall_s = 0;
+    std::uint64_t pending_stall_op = kNoDeviceOp;
     const auto stalled = [&](double base) {
+      pending_stall_s = 0;
+      pending_stall_op = kNoDeviceOp;
       if (base <= 0) return base;
-      const double st = platform_.cpu().stall_s(fi);
-      if (st > 0) rr.faults.cpu_stalls++;
-      return base + st;
+      const DeviceAttempt at = platform_.cpu().stall_attempt(fi);
+      if (at.elapsed_s > 0) {
+        rr.faults.cpu_stalls++;
+        pending_stall_s = at.elapsed_s;
+        pending_stall_op = at.op;
+      }
+      return base + at.elapsed_s;
+    };
+    const auto note_stall = [&](const StageSpan& s) {
+      if (pending_stall_s > 0 && tr != nullptr) {
+        tr->instant_on(TraceCategory::kFault, "cpu-stall", Resource::kCpu,
+                       s.end_s, pending_stall_op);
+      }
+      pending_stall_s = 0;
     };
 
     // ---- Phase I: plan, through the cache when thresholds are not pinned.
@@ -317,6 +338,11 @@ BatchResult SpgemmService::drain() {
         rr.plan_cache_hit = true;
       }
     }
+    if (cacheable && tr != nullptr) {
+      tr->instant(TraceCategory::kScheduler,
+                  rr.plan_cache_hit ? "plan-cache-hit" : "plan-cache-miss",
+                  rr.submit_s);
+    }
     const PartitionPlan plan = make_partition_plan(a, b, t_a, t_b, platform_);
     if (cacheable && !rr.plan_cache_hit) {
       plan_cache_.insert(cache_key, {plan.a.threshold, plan.b.threshold});
@@ -331,6 +357,7 @@ BatchResult SpgemmService::drain() {
     const StageSpan analyze =
         cpu.reserve(rr.plan_cache_hit ? "analyze(cached-plan)" : "analyze",
                     rr.submit_s, stalled(rep.phase1_s));
+    note_stall(analyze);
     rr.spans.push_back(analyze);
     if (past_deadline(analyze.end_s)) cancelled = true;
 
@@ -368,6 +395,11 @@ BatchResult SpgemmService::drain() {
             break;
           }
           rr.faults.h2d_faults++;
+          if (tr != nullptr) {
+            tr->instant_on(TraceCategory::kFault,
+                           at.corrupt ? "h2d-corrupt" : "h2d-fault",
+                           Resource::kH2D, s.end_s, at.op);
+          }
           if (at.corrupt) {
             rr.faults.corruptions++;
             resident_.erase(m);  // never reuse a damaged device copy
@@ -380,9 +412,16 @@ BatchResult SpgemmService::drain() {
           if (failures >= rp.max_attempts) {
             degraded = true;
             degrade_at = std::max(degrade_at, s.end_s);
+            if (tr != nullptr) {
+              tr->instant(TraceCategory::kDegrade, "degrade-to-cpu", s.end_s);
+            }
             break;
           }
           rr.faults.retries++;
+          if (tr != nullptr) {
+            tr->instant_on(TraceCategory::kRetry, "retry-h2d", Resource::kH2D,
+                           s.end_s, at.op);
+          }
           const double wait = backoff_for(failures);
           rr.faults.backoff_s += wait;
           earliest = s.end_s + wait;
@@ -410,6 +449,7 @@ BatchResult SpgemmService::drain() {
       rep.phase2_gpu_s = p2.gpu_s;
       rep.phase2_s = HeteroPlatform::overlap(p2.cpu_s, p2.gpu_s);
       cpu2 = cpu.reserve("phase2-cpu", analyze.end_s, stalled(p2.cpu_s));
+      note_stall(cpu2);
       rr.spans.push_back(cpu2);
       if (past_deadline(cpu2.end_s)) cancelled = true;
 
@@ -432,6 +472,10 @@ BatchResult SpgemmService::drain() {
             break;
           }
           rr.faults.gpu_aborts++;
+          if (tr != nullptr) {
+            tr->instant_on(TraceCategory::kFault, "gpu-abort", Resource::kGpu,
+                           s.end_s, at.op);
+          }
           if (past_deadline(s.end_s)) {
             cancelled = true;
             break;
@@ -439,9 +483,16 @@ BatchResult SpgemmService::drain() {
           if (rr.faults.gpu_aborts >= rp.gpu_failures_before_degrade) {
             degraded = true;
             degrade_at = std::max(degrade_at, s.end_s);
+            if (tr != nullptr) {
+              tr->instant(TraceCategory::kDegrade, "degrade-to-cpu", s.end_s);
+            }
             break;
           }
           rr.faults.retries++;
+          if (tr != nullptr) {
+            tr->instant_on(TraceCategory::kRetry, "retry-gpu", Resource::kGpu,
+                           s.end_s, at.op);
+          }
           const double wait = backoff_for(rr.faults.gpu_aborts);
           rr.faults.backoff_s += wait;
           earliest = s.end_s + wait;
@@ -470,6 +521,7 @@ BatchResult SpgemmService::drain() {
       rep.queue_cpu_units = q.cpu_units;
       rep.queue_gpu_units = q.gpu_units;
       q_cpu = cpu.reserve("phase3-cpu", cpu_q_start, stalled(q.cpu_busy));
+      note_stall(q_cpu);
       rr.spans.push_back(q_cpu);
       if (past_deadline(q_cpu.end_s)) cancelled = true;
 
@@ -492,6 +544,10 @@ BatchResult SpgemmService::drain() {
             break;
           }
           rr.faults.gpu_aborts++;
+          if (tr != nullptr) {
+            tr->instant_on(TraceCategory::kFault, "gpu-abort", Resource::kGpu,
+                           s.end_s, at.op);
+          }
           if (past_deadline(s.end_s)) {
             cancelled = true;
             break;
@@ -499,9 +555,16 @@ BatchResult SpgemmService::drain() {
           if (rr.faults.gpu_aborts >= rp.gpu_failures_before_degrade) {
             degraded = true;
             degrade_at = std::max(degrade_at, s.end_s);
+            if (tr != nullptr) {
+              tr->instant(TraceCategory::kDegrade, "degrade-to-cpu", s.end_s);
+            }
             break;
           }
           rr.faults.retries++;
+          if (tr != nullptr) {
+            tr->instant_on(TraceCategory::kRetry, "retry-gpu", Resource::kGpu,
+                           s.end_s, at.op);
+          }
           const double wait = backoff_for(rr.faults.gpu_aborts);
           rr.faults.backoff_s += wait;
           earliest = s.end_s + wait;
@@ -531,6 +594,11 @@ BatchResult SpgemmService::drain() {
               break;
             }
             rr.faults.d2h_faults++;
+            if (tr != nullptr) {
+              tr->instant_on(TraceCategory::kFault,
+                             at.corrupt ? "d2h-corrupt" : "d2h-fault",
+                             Resource::kD2H, s.end_s, at.op);
+            }
             if (at.corrupt) rr.faults.corruptions++;
             ++failures;
             if (past_deadline(s.end_s)) {
@@ -540,9 +608,17 @@ BatchResult SpgemmService::drain() {
             if (failures >= rp.max_attempts) {
               degraded = true;
               degrade_at = std::max(degrade_at, s.end_s);
+              if (tr != nullptr) {
+                tr->instant(TraceCategory::kDegrade, "degrade-to-cpu",
+                            s.end_s);
+              }
               break;
             }
             rr.faults.retries++;
+            if (tr != nullptr) {
+              tr->instant_on(TraceCategory::kRetry, "retry-d2h",
+                             Resource::kD2H, s.end_s, at.op);
+            }
             const double wait = backoff_for(failures);
             rr.faults.backoff_s += wait;
             earliest = s.end_s + wait;
@@ -599,6 +675,7 @@ BatchResult SpgemmService::drain() {
             "merge",
             std::max({q_cpu.end_s, tx_out.end_s, deg.end_s, cpu2.end_s}),
             stalled(merged.cpu_s));
+        note_stall(merge);
         rr.spans.push_back(merge);
         if (past_deadline(merge.end_s)) {
           cancelled = true;
@@ -627,6 +704,9 @@ BatchResult SpgemmService::drain() {
       os << "deadline of " << rr.deadline_s << " s exceeded at "
          << rr.finish_s << " s; request cancelled";
       rr.status = Status{StatusCode::kDeadlineExceeded, os.str()};
+      if (tr != nullptr) {
+        tr->instant(TraceCategory::kCancel, "deadline-cancel", rr.finish_s);
+      }
       // The plan this request rode on is suspect until re-identified.
       if (cacheable && rr.plan_cache_hit) plan_cache_.quarantine(cache_key);
     }
@@ -649,6 +729,7 @@ BatchResult SpgemmService::drain() {
     res.report = rep;
     out.results.push_back(std::move(res));
     out.requests.push_back(std::move(rr));
+    if (tr != nullptr) tr->end_request();
   }
   queue_.clear();
 
@@ -665,14 +746,51 @@ BatchResult SpgemmService::drain() {
   batch.d2h_busy_s = d2h.busy();
   batch.plan_cache = plan_cache_.stats();
   batch.workspace = workspace_.stats();
-  batch.shed = shed_since_drain_;
-  shed_since_drain_ = 0;
-  for (const RequestReport& r : out.requests) {
+  const std::int64_t shed_total = metrics_.counter("service.shed").value();
+  batch.shed = static_cast<std::size_t>(shed_total - shed_at_last_drain_);
+  shed_at_last_drain_ = shed_total;
+
+  Histogram& latency_hist =
+      metrics_.histogram("service.latency_s", latency_buckets_s());
+  for (RequestReport& r : out.requests) {
     batch.faults.accumulate(r.faults);
     if (r.status.ok()) batch.completed++;
     if (r.degraded_to_cpu) batch.degraded++;
     if (r.deadline_missed) batch.deadline_missed++;
+    r.flame = flame_row(r.spans, 0, makespan);
+    metrics_.counter("service.requests").inc();
+    if (!r.deadline_missed) latency_hist.observe(r.latency_s);
   }
+  metrics_.counter("service.completed").inc(
+      static_cast<std::int64_t>(batch.completed));
+  metrics_.counter("service.degraded").inc(
+      static_cast<std::int64_t>(batch.degraded));
+  metrics_.counter("service.deadline_missed").inc(
+      static_cast<std::int64_t>(batch.deadline_missed));
+  metrics_.counter("service.faults.gpu_aborts").inc(batch.faults.gpu_aborts);
+  metrics_.counter("service.faults.h2d").inc(batch.faults.h2d_faults);
+  metrics_.counter("service.faults.d2h").inc(batch.faults.d2h_faults);
+  metrics_.counter("service.faults.corruptions").inc(batch.faults.corruptions);
+  metrics_.counter("service.faults.cpu_stalls").inc(batch.faults.cpu_stalls);
+  metrics_.counter("service.retries").inc(batch.faults.retries);
+  metrics_.gauge("service.makespan_s").set(batch.makespan_s);
+  metrics_.gauge("service.cpu_busy_s").set(batch.cpu_busy_s);
+  metrics_.gauge("service.gpu_busy_s").set(batch.gpu_busy_s);
+  metrics_.gauge("service.h2d_busy_s").set(batch.h2d_busy_s);
+  metrics_.gauge("service.d2h_busy_s").set(batch.d2h_busy_s);
+
+  // The batch flame is built from the per-request spans (not the recorder),
+  // so the text view works even with tracing compiled out or disabled.
+  std::vector<TraceEvent> flame_events;
+  for (const RequestReport& r : out.requests) {
+    for (const StageSpan& s : r.spans) {
+      flame_events.push_back({TraceEventKind::kSpan, TraceCategory::kCompute,
+                              s.stage, /*has_resource=*/true, s.resource,
+                              r.request_id, s.start_s, s.end_s, s.start_s,
+                              kNoDeviceOp});
+    }
+  }
+  batch.flame = flame_view(flame_events);
   return out;
 }
 

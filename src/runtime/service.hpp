@@ -51,6 +51,8 @@
 #include "runtime/timeline.hpp"
 #include "sparse/csr.hpp"
 #include "spgemm/workspace.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 #include "util/status.hpp"
 #include "util/thread_pool.hpp"
 
@@ -100,6 +102,8 @@ struct RequestReport {
   double queue_wait_s = 0;  // start_s - submit_s
   double latency_s = 0;     // finish_s - submit_s
   std::vector<StageSpan> spans;
+  std::string flame;  // one-row text flame of this request's spans over the
+                      // batch window (trace/flame.hpp)
 
   std::string to_string() const;
   std::string to_json() const;
@@ -126,6 +130,7 @@ struct BatchReport {
   double d2h_busy_s = 0;
   PlanCache::Stats plan_cache;
   WorkspacePool::Stats workspace;
+  std::string flame;  // per-resource text flame view of the whole batch
 
   std::string to_string() const;
   std::string to_json() const;
@@ -158,6 +163,12 @@ class SpgemmService {
     RecoveryPolicy recovery;
     std::size_t admission_capacity = 0;  // max pending; 0 = unbounded
     double default_deadline_s = 0;       // per-request default; 0 = none
+    // Optional structured tracing (trace/trace.hpp). The recorder must
+    // outlive the service; it records nothing until enable()d. Every
+    // timeline placement, device attempt outcome, retry, degradation and
+    // cancellation lands in it with request identity — export with
+    // trace/perfetto_export.hpp or render with trace/flame.hpp.
+    TraceRecorder* trace = nullptr;
   };
 
   SpgemmService(const HeteroPlatform& platform, ThreadPool& pool,
@@ -183,6 +194,12 @@ class SpgemmService {
   WorkspacePool& workspace_pool() { return workspace_; }
   const FaultInjector& fault_injector() const { return injector_; }
 
+  /// Lifetime-cumulative instruments ("service.*", "plan_cache.*"): request
+  /// outcome counters, fault/retry counters, a latency histogram, last-drain
+  /// busy gauges. BatchReport stays the per-drain snapshot.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
   /// Drop device residency and cached host-side signatures (e.g. after the
   /// caller mutated or freed previously-submitted matrices).
   void invalidate_inputs();
@@ -198,7 +215,10 @@ class SpgemmService {
   FaultInjector injector_;
   std::vector<SpgemmRequest> queue_;
   std::size_t next_id_ = 0;
-  std::size_t shed_since_drain_ = 0;
+  MetricsRegistry metrics_;
+  // BatchReport::shed is the per-drain delta of the lifetime-cumulative
+  // "service.shed" counter; this is the counter's value at the last drain.
+  std::int64_t shed_at_last_drain_ = 0;
   // Host-side memos, keyed by operand identity (see submit() contract).
   std::unordered_map<const CsrMatrix*, MatrixSignature> signatures_;
   // Device residency: operand → checksum of the uploaded copy.

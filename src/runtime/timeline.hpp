@@ -12,39 +12,26 @@
 // its dependences allow — so, e.g., request k+1's Phase I analysis can run
 // on the CPU inside the window where request k's tuples are still crossing
 // the D2H channel. Everything is deterministic.
+//
+// When a TraceRecorder is attached, every placement is recorded with both
+// the dependence-allowed earliest start and the granted start, so pipeline
+// bubbles are directly visible in the exported trace
+// (docs/observability.md).
 #pragma once
 
 #include <algorithm>
 #include <vector>
 
+#include "runtime/resource.hpp"
+#include "trace/trace.hpp"
+
 namespace hh {
-
-enum class Resource { kCpu = 0, kGpu = 1, kH2D = 2, kD2H = 3 };
-inline constexpr int kResourceCount = 4;
-
-inline const char* to_string(Resource r) {
-  switch (r) {
-    case Resource::kCpu: return "cpu";
-    case Resource::kGpu: return "gpu";
-    case Resource::kH2D: return "h2d";
-    case Resource::kD2H: return "d2h";
-  }
-  return "?";
-}
-
-/// One scheduled occupancy of a resource.
-struct StageSpan {
-  const char* stage = "";  // static stage name
-  Resource resource = Resource::kCpu;
-  double start_s = 0;
-  double end_s = 0;
-
-  double duration_s() const { return end_s - start_s; }
-};
 
 class ResourceTimeline {
  public:
-  explicit ResourceTimeline(Resource r = Resource::kCpu) : resource_(r) {}
+  explicit ResourceTimeline(Resource r = Resource::kCpu,
+                            TraceRecorder* trace = nullptr)
+      : resource_(r), trace_(trace) {}
 
   /// Clock after the last scheduled stage.
   double now() const { return now_; }
@@ -52,14 +39,27 @@ class ResourceTimeline {
   /// Total occupied time (excludes idle windows).
   double busy() const { return busy_; }
 
+  /// The earliest instant >= `earliest` at which this resource is not
+  /// occupied: `earliest` itself past the frontier, the first idle window
+  /// still open at `earliest`, or the frontier.
+  double available_at(double earliest) const {
+    if (earliest >= now_) return earliest;
+    for (const Gap& g : gaps_) {
+      if (g.end >= earliest) return std::max(g.start, earliest);
+    }
+    return now_;
+  }
+
   /// Schedule a stage of `duration` seconds starting no earlier than
   /// `earliest`: placed into the first idle window that fits, else appended
   /// at the end (recording the idle window this opens, if any). A
   /// non-positive duration occupies nothing and returns a zero-length span
-  /// at `earliest`.
+  /// clamped to the resource's true availability — never inside an occupied
+  /// window — so traces stay ordered.
   StageSpan reserve(const char* stage, double earliest, double duration) {
     if (duration <= 0) {
-      return {stage, resource_, earliest, earliest};
+      const double at = available_at(earliest);
+      return {stage, resource_, at, at};
     }
     for (std::size_t i = 0; i < gaps_.size(); ++i) {
       const double start = std::max(gaps_[i].start, earliest);
@@ -76,14 +76,14 @@ class ResourceTimeline {
                        Gap{start + duration, g.end});
         }
         busy_ += duration;
-        return {stage, resource_, start, start + duration};
+        return record(stage, earliest, start, start + duration);
       }
     }
     const double start = std::max(now_, earliest);
     if (start > now_) gaps_.push_back({now_, start});
     now_ = start + duration;
     busy_ += duration;
-    return {stage, resource_, start, now_};
+    return record(stage, earliest, start, now_);
   }
 
  private:
@@ -92,7 +92,20 @@ class ResourceTimeline {
     double end;
   };
 
+  StageSpan record(const char* stage, double requested, double start,
+                   double end) {
+    if (trace_ != nullptr) {
+      const bool transfer =
+          resource_ == Resource::kH2D || resource_ == Resource::kD2H;
+      trace_->span(transfer ? TraceCategory::kTransfer
+                            : TraceCategory::kCompute,
+                   stage, resource_, start, end, requested);
+    }
+    return {stage, resource_, start, end};
+  }
+
   Resource resource_;
+  TraceRecorder* trace_ = nullptr;
   std::vector<Gap> gaps_;  // idle windows, ascending, disjoint
   double now_ = 0;
   double busy_ = 0;

@@ -1,0 +1,177 @@
+#include "trace/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace hh {
+namespace {
+
+std::string num(double x) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", x);
+  return buf;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {
+  HH_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+               "histogram upper bounds must be ascending");
+}
+
+void Histogram::observe(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  counts_[static_cast<std::size_t>(it - bounds_.begin())]++;
+  count_++;
+  sum_ += x;
+  if (count_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+}
+
+double Histogram::percentile(double q) const {
+  HH_CHECK_MSG(q > 0 && q <= 1, "percentile requires q in (0, 1]");
+  if (count_ == 0) return 0;
+  const auto rank = static_cast<std::int64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  std::int64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= rank) {
+      return i < bounds_.size() ? bounds_[i] : max_;
+    }
+  }
+  return max_;
+}
+
+const MetricsRegistry::Entry* MetricsRegistry::find(
+    const std::string& name) const {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : &order_[it->second];
+}
+
+MetricsRegistry::Entry& MetricsRegistry::registered(const std::string& name,
+                                                    Kind kind) {
+  const auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    Entry& e = order_[it->second];
+    HH_CHECK_MSG(e.kind == kind,
+                 "metric '" << name << "' already registered as another kind");
+    return e;
+  }
+  std::size_t index = 0;
+  switch (kind) {
+    case Kind::kCounter: index = counters_.size(); counters_.emplace_back(); break;
+    case Kind::kGauge: index = gauges_.size(); gauges_.emplace_back(); break;
+    case Kind::kHistogram: index = histograms_.size(); break;  // caller adds
+  }
+  by_name_.emplace(name, order_.size());
+  order_.push_back({name, kind, index});
+  return order_.back();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[registered(name, Kind::kCounter).index];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return gauges_[registered(name, Kind::kGauge).index];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  const Entry* existing = find(name);
+  if (existing != nullptr) {
+    HH_CHECK_MSG(existing->kind == Kind::kHistogram,
+                 "metric '" << name << "' already registered as another kind");
+    return histograms_[existing->index];
+  }
+  Entry& e = registered(name, Kind::kHistogram);
+  histograms_.emplace_back(std::move(upper_bounds));
+  return histograms_[e.index];
+}
+
+std::string MetricsRegistry::to_string() const {
+  std::ostringstream os;
+  for (const Entry& e : order_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        os << e.name << " " << counters_[e.index].value() << "\n";
+        break;
+      case Kind::kGauge:
+        os << e.name << " " << num(gauges_[e.index].value()) << "\n";
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = histograms_[e.index];
+        os << e.name << "_count " << h.count() << "\n";
+        os << e.name << "_sum " << num(h.sum()) << "\n";
+        std::int64_t cum = 0;
+        for (std::size_t i = 0; i < h.upper_bounds().size(); ++i) {
+          cum += h.bucket_counts()[i];
+          os << e.name << "{le=\"" << num(h.upper_bounds()[i]) << "\"} " << cum
+             << "\n";
+        }
+        os << e.name << "{le=\"+Inf\"} " << h.count() << "\n";
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const Entry& e : order_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << e.name << "\":";
+    switch (e.kind) {
+      case Kind::kCounter:
+        os << counters_[e.index].value();
+        break;
+      case Kind::kGauge:
+        os << num(gauges_[e.index].value());
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = histograms_[e.index];
+        os << "{\"count\":" << h.count() << ",\"sum\":" << num(h.sum())
+           << ",\"min\":" << num(h.min()) << ",\"max\":" << num(h.max())
+           << ",\"bounds\":[";
+        for (std::size_t i = 0; i < h.upper_bounds().size(); ++i) {
+          os << (i ? "," : "") << num(h.upper_bounds()[i]);
+        }
+        os << "],\"buckets\":[";
+        for (std::size_t i = 0; i < h.bucket_counts().size(); ++i) {
+          os << (i ? "," : "") << h.bucket_counts()[i];
+        }
+        os << "]}";
+        break;
+      }
+    }
+  }
+  os << "}";
+  return os.str();
+}
+
+std::vector<double> latency_buckets_s() {
+  // Half-decade ladder: 1e-5, 3.16e-5, 1e-4, ... 100 s.
+  std::vector<double> bounds;
+  for (int e = -5; e <= 2; ++e) {
+    const double decade = std::pow(10.0, e);
+    bounds.push_back(decade);
+    if (e < 2) bounds.push_back(decade * std::sqrt(10.0));
+  }
+  return bounds;
+}
+
+}  // namespace hh

@@ -1,0 +1,118 @@
+// Metrics registry: named counters, gauges and fixed-bucket histograms.
+//
+// Replaces the ad-hoc counter members that accumulated inside SpgemmService
+// with one queryable, exportable registry. Counters are monotone over the
+// service's lifetime (BatchReport remains the per-drain snapshot); gauges
+// hold the latest value; histograms bucket observations against a fixed,
+// ascending upper-bound vector (a +inf overflow bucket is implicit), which
+// keeps observation O(#buckets) with zero allocation.
+//
+// Instruments are created on first access and live as long as the registry;
+// references returned by counter()/gauge()/histogram() stay valid (deque
+// storage, never reallocated). Registration order is preserved in the text
+// and JSON renderings so exports diff cleanly.
+//
+// Not thread-safe by design: the service's drain() — the only writer — is
+// single-threaded, and making every counter atomic would put a price on the
+// hot path that the instrumentation is meant to avoid.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace hh {
+
+class Counter {
+ public:
+  void inc(std::int64_t delta = 1) { value_ += delta; }
+  std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+class Histogram {
+ public:
+  /// `upper_bounds` must be ascending; an overflow bucket is implicit, so
+  /// bucket_counts().size() == upper_bounds().size() + 1. Bucket i counts
+  /// observations x with x <= upper_bounds[i] (and > upper_bounds[i-1]).
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double x);
+
+  std::int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ > 0 ? min_ : 0; }
+  double max() const { return count_ > 0 ? max_ : 0; }
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  const std::vector<std::int64_t>& bucket_counts() const { return counts_; }
+
+  /// Nearest-rank percentile estimate from the buckets: the upper bound of
+  /// the bucket holding the q-th ranked observation (max() for the overflow
+  /// bucket). q in (0, 1]. Returns 0 on an empty histogram.
+  double percentile(double q) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::int64_t> counts_;  // bounds_.size() + 1 (overflow last)
+  std::int64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Find-or-create. Throws CheckError if `name` is already registered as a
+  /// different instrument kind.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `upper_bounds` is consulted only on first creation.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds);
+
+  std::size_t size() const { return order_.size(); }
+
+  /// Prometheus-flavoured text: one `name value` line per instrument (for
+  /// histograms: count/sum plus cumulative `le` buckets).
+  std::string to_string() const;
+
+  /// Single-line JSON object keyed by instrument name.
+  std::string to_json() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    std::string name;
+    Kind kind;
+    std::size_t index;  // into the deque of its kind
+  };
+
+  const Entry* find(const std::string& name) const;
+  Entry& registered(const std::string& name, Kind kind);
+
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  std::vector<Entry> order_;
+  std::unordered_map<std::string, std::size_t> by_name_;  // → order_ index
+};
+
+/// Default latency buckets for simulated-seconds histograms: half-decade
+/// steps from 10 µs to 100 s.
+std::vector<double> latency_buckets_s();
+
+}  // namespace hh

@@ -1,0 +1,129 @@
+#include "trace/perfetto_export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace hh {
+namespace {
+
+constexpr int kPid = 1;
+// tids 1..kResourceCount are the resource tracks; the service track follows.
+constexpr int kServiceTid = kResourceCount + 1;
+
+int tid_of(const TraceEvent& e) {
+  return e.has_resource ? static_cast<int>(e.resource) + 1 : kServiceTid;
+}
+
+// %.17g round-trips the double exactly: a span's ts + dur must equal the
+// next span's ts wherever the timeline placed them back to back, or the
+// rendered tracks show sub-ns overlaps that are artifacts of printing.
+std::string us(double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", seconds * 1e6);
+  return buf;
+}
+
+// dur is derived from the already-converted endpoints, not from
+// (end - start) * 1e6, so ts + dur reproduces us(end_s) bit-for-bit.
+std::string us_delta(double start_seconds, double end_seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g",
+                end_seconds * 1e6 - start_seconds * 1e6);
+  return buf;
+}
+
+void append_args(std::ostringstream& os, const TraceEvent& e) {
+  os << "\"args\":{";
+  bool first = true;
+  if (e.request_id != kNoRequest) {
+    os << "\"request\":" << e.request_id;
+    first = false;
+  }
+  if (e.kind == TraceEventKind::kSpan) {
+    if (!first) os << ",";
+    os << "\"requested_us\":" << us(e.requested_s) << ",\"bubble_us\":"
+       << us(e.start_s - e.requested_s);
+    first = false;
+  }
+  if (e.device_op != kNoDeviceOp) {
+    if (!first) os << ",";
+    os << "\"device_op\":" << e.device_op;
+  }
+  os << "}";
+}
+
+void append_meta(std::ostringstream& os, int tid, const char* name) {
+  os << ",{\"ph\":\"M\",\"pid\":" << kPid << ",\"tid\":" << tid
+     << ",\"name\":\"thread_name\",\"args\":{\"name\":\"" << name << "\"}}";
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const TraceRecorder& recorder) {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  os << "{\"ph\":\"M\",\"pid\":" << kPid
+     << ",\"name\":\"process_name\",\"args\":{\"name\":\"hh-runtime\"}}";
+  for (int r = 0; r < kResourceCount; ++r) {
+    append_meta(os, r + 1, to_string(static_cast<Resource>(r)));
+  }
+  append_meta(os, kServiceTid, "service");
+
+  for (const TraceEvent& e : recorder.events()) {
+    os << ",{\"name\":\"" << e.name << "\",\"cat\":\""
+       << to_string(e.category) << "\",\"pid\":" << kPid
+       << ",\"tid\":" << tid_of(e) << ",\"ts\":" << us(e.start_s) << ",";
+    if (e.kind == TraceEventKind::kSpan) {
+      os << "\"ph\":\"X\",\"dur\":" << us_delta(e.start_s, e.end_s) << ",";
+    } else {
+      os << "\"ph\":\"i\",\"s\":\"t\",";
+    }
+    append_args(os, e);
+    os << "}";
+  }
+
+  // Per-request flow arrows over the spans, in start order.
+  std::vector<const TraceEvent*> spans;
+  for (const TraceEvent& e : recorder.events()) {
+    if (e.kind == TraceEventKind::kSpan && e.request_id != kNoRequest) {
+      spans.push_back(&e);
+    }
+  }
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const TraceEvent* a, const TraceEvent* b) {
+                     if (a->request_id != b->request_id) {
+                       return a->request_id < b->request_id;
+                     }
+                     return a->start_s < b->start_s;
+                   });
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const TraceEvent& e = *spans[i];
+    const bool first =
+        i == 0 || spans[i - 1]->request_id != e.request_id;
+    const bool last = i + 1 == spans.size() ||
+                      spans[i + 1]->request_id != e.request_id;
+    if (first && last) continue;  // single-span request: nothing to link
+    os << ",{\"ph\":\"" << (first ? "s" : last ? "f" : "t")
+       << "\",\"id\":" << e.request_id << ",\"name\":\"request\","
+       << "\"cat\":\"flow\",\"pid\":" << kPid << ",\"tid\":" << tid_of(e)
+       << ",\"ts\":" << us(e.start_s);
+    if (last) os << ",\"bp\":\"e\"";
+    os << "}";
+  }
+
+  os << "]}";
+  return os.str();
+}
+
+bool write_chrome_trace(const TraceRecorder& recorder,
+                        const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << chrome_trace_json(recorder) << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace hh

@@ -1,0 +1,33 @@
+// Chrome trace-event / Perfetto JSON exporter for TraceRecorder events.
+//
+// Produces the JSON object format ({"traceEvents":[...]}) that both
+// chrome://tracing and https://ui.perfetto.dev load directly:
+//   - one named thread track per Resource (cpu / gpu / h2d / d2h) plus a
+//     "service" track for decisions that occupy no device;
+//   - complete ("X") events for every scheduler placement, with args
+//     carrying the request id, the dependence-allowed earliest start (so
+//     pipeline bubbles are visible as start - requested), and the fault
+//     injector's op index where one exists;
+//   - instant ("i") events for faults, retries, degradations, cancellations
+//     and cache decisions;
+//   - per-request flow arrows ("s"/"t"/"f") linking each request's spans in
+//     start order across tracks.
+//
+// Simulated seconds are exported as microseconds (the trace-event unit).
+#pragma once
+
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace hh {
+
+/// Render every recorded event as one Chrome trace-event JSON object.
+std::string chrome_trace_json(const TraceRecorder& recorder);
+
+/// Write chrome_trace_json() to `path`. Returns false if the file could not
+/// be opened or written.
+bool write_chrome_trace(const TraceRecorder& recorder,
+                        const std::string& path);
+
+}  // namespace hh

@@ -1,0 +1,18 @@
+#include "trace/trace.hpp"
+
+namespace hh {
+
+const char* to_string(TraceCategory c) {
+  switch (c) {
+    case TraceCategory::kCompute: return "compute";
+    case TraceCategory::kTransfer: return "transfer";
+    case TraceCategory::kScheduler: return "scheduler";
+    case TraceCategory::kFault: return "fault";
+    case TraceCategory::kRetry: return "retry";
+    case TraceCategory::kDegrade: return "degrade";
+    case TraceCategory::kCancel: return "cancel";
+  }
+  return "?";
+}
+
+}  // namespace hh

@@ -1,0 +1,128 @@
+// Structured event/span recorder for the heterogeneous runtime.
+//
+// The paper's argument (Figs. 6–9) is a claim about *where time goes* — CPU
+// vs. GPU vs. PCIe overlap — so the runtime needs per-stage, per-resource
+// observability, not just end-of-batch aggregates. TraceRecorder captures
+//   - every ResourceTimeline::reserve placement (span events, with both the
+//     dependence-allowed earliest start the caller asked for and the start
+//     the insertion scheduler actually granted — the difference is the
+//     pipeline bubble);
+//   - every simulated device operation outcome (gpu_sim / cpu_sim / pcie),
+//     carrying the fault injector's site-local op index;
+//   - every fault, retry, degradation and cancellation decision the service
+//     makes, with request identity.
+//
+// The recorder is toggleable at two levels:
+//   - compile time: building with -DHH_TRACE_DISABLED (CMake -DHH_TRACE=OFF)
+//     pins enabled() to false, so every record call folds to a dead branch;
+//   - run time: a recorder starts disabled and records nothing until
+//     enable() — call sites pay one predictable branch.
+//
+// Consumers: trace/perfetto_export.hpp renders events as a Chrome
+// trace-event / Perfetto JSON file (one track per Resource, per-request
+// flow arrows); trace/flame.hpp renders a compact text flame view.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault.hpp"  // kNoDeviceOp: device-op identity in events
+#include "runtime/resource.hpp"
+
+namespace hh {
+
+/// Sentinel for events not tied to one request (batch-level bookkeeping).
+inline constexpr std::size_t kNoRequest = static_cast<std::size_t>(-1);
+
+enum class TraceEventKind { kSpan = 0, kInstant = 1 };
+
+enum class TraceCategory {
+  kCompute = 0,    // CPU/GPU occupancy placed by the scheduler
+  kTransfer = 1,   // PCIe channel occupancy
+  kScheduler = 2,  // placement/cache decisions (plan-cache hit/miss, ...)
+  kFault = 3,      // injected fault observed (abort/failure/corruption/stall)
+  kRetry = 4,      // a re-attempt was scheduled (with backoff)
+  kDegrade = 5,    // request fell back to the CPU-only path
+  kCancel = 6,     // request cancelled past its deadline
+};
+
+const char* to_string(TraceCategory c);
+
+struct TraceEvent {
+  TraceEventKind kind = TraceEventKind::kInstant;
+  TraceCategory category = TraceCategory::kScheduler;
+  const char* name = "";  // static string
+  bool has_resource = false;
+  Resource resource = Resource::kCpu;
+  std::size_t request_id = kNoRequest;
+  double start_s = 0;
+  double end_s = 0;      // instants: end_s == start_s
+  double requested_s = 0;  // spans: earliest start the caller asked for
+  std::uint64_t device_op = kNoDeviceOp;  // injector site-local op index
+};
+
+class TraceRecorder {
+ public:
+  /// False when the library was built with -DHH_TRACE=OFF; every recording
+  /// call is then a dead branch the optimizer removes.
+  static constexpr bool compiled_in() {
+#ifdef HH_TRACE_DISABLED
+    return false;
+#else
+    return true;
+#endif
+  }
+
+  void enable(bool on = true) { enabled_ = compiled_in() && on; }
+  bool enabled() const { return enabled_; }
+
+  void clear() {
+    events_.clear();
+    current_request_ = kNoRequest;
+  }
+
+  /// Events recorded from here on carry this request's identity.
+  void begin_request(std::size_t id) { current_request_ = id; }
+  void end_request() { current_request_ = kNoRequest; }
+  std::size_t current_request() const { return current_request_; }
+
+  /// A resource occupancy placed by a scheduler. `requested_s` is the
+  /// dependence-allowed earliest start; `start_s - requested_s` is the time
+  /// the stage waited for its resource (the pipeline bubble).
+  void span(TraceCategory category, const char* name, Resource resource,
+            double start_s, double end_s, double requested_s,
+            std::uint64_t device_op = kNoDeviceOp) {
+    if (!enabled_) return;
+    events_.push_back({TraceEventKind::kSpan, category, name,
+                       /*has_resource=*/true, resource, current_request_,
+                       start_s, end_s, requested_s, device_op});
+  }
+
+  /// A point event on a resource track (fault observed, retry issued, ...).
+  void instant_on(TraceCategory category, const char* name, Resource resource,
+                  double t_s, std::uint64_t device_op = kNoDeviceOp) {
+    if (!enabled_) return;
+    events_.push_back({TraceEventKind::kInstant, category, name,
+                       /*has_resource=*/true, resource, current_request_, t_s,
+                       t_s, t_s, device_op});
+  }
+
+  /// A point event on the service track (degradation, cancellation,
+  /// plan-cache decisions — nothing occupies a device).
+  void instant(TraceCategory category, const char* name, double t_s) {
+    if (!enabled_) return;
+    events_.push_back({TraceEventKind::kInstant, category, name,
+                       /*has_resource=*/false, Resource::kCpu,
+                       current_request_, t_s, t_s, t_s, kNoDeviceOp});
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+ private:
+  bool enabled_ = false;
+  std::size_t current_request_ = kNoRequest;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace hh

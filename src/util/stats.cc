@@ -54,15 +54,32 @@ double max_of(std::span<const double> xs) {
   return *std::max_element(xs.begin(), xs.end());
 }
 
+double percentile_sorted(std::span<const double> xs, double q) {
+  HH_CHECK_MSG(q > 0 && q <= 1, "percentile requires q in (0, 1]");
+  if (xs.empty()) return 0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(xs.size())));
+  return xs[std::min(xs.size(), std::max<std::size_t>(rank, 1)) - 1];
+}
+
+double percentile(std::vector<double> xs, double q) {
+  std::sort(xs.begin(), xs.end());
+  return percentile_sorted(xs, q);
+}
+
 Summary summarize(std::span<const double> xs) {
   Summary s;
   s.n = xs.size();
   if (xs.empty()) return s;
   s.mean = mean(xs);
-  s.median = median(std::vector<double>(xs.begin(), xs.end()));
-  s.min = min_of(xs);
-  s.max = max_of(xs);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.median = median(sorted);
+  s.min = sorted.front();
+  s.max = sorted.back();
   s.stddev = xs.size() >= 2 ? stddev(xs) : 0.0;
+  s.p95 = percentile_sorted(sorted, 0.95);
+  s.p99 = percentile_sorted(sorted, 0.99);
   return s;
 }
 

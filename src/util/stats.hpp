@@ -14,10 +14,20 @@ double stddev(std::span<const double> xs);   // sample standard deviation
 double min_of(std::span<const double> xs);
 double max_of(std::span<const double> xs);
 
+/// Nearest-rank percentile of an unsorted sample (by value: needs to sort);
+/// q must be in (0, 1]. The element at 1-based rank ceil(q * n): p50 of
+/// {a, b} is a, p100 is the maximum, and a single-element sample answers
+/// every q with that element. Returns 0 on an empty sample.
+double percentile(std::vector<double> xs, double q);
+
+/// Same, over a sample already sorted ascending.
+double percentile_sorted(std::span<const double> xs, double q);
+
 /// Summary of a sample, convenient for printing benchmark tables.
 struct Summary {
   std::size_t n = 0;
   double mean = 0, median = 0, stddev = 0, min = 0, max = 0;
+  double p95 = 0, p99 = 0;  // nearest-rank
 };
 
 Summary summarize(std::span<const double> xs);

@@ -1,12 +1,33 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <exception>
+#include <memory>
+#include <utility>
 
 #include "util/check.hpp"
+#include "util/log.hpp"
+#include "util/status.hpp"
 
 namespace hh {
+namespace {
+
+/// Rethrow a stashed task exception through the typed taxonomy: HhError
+/// subclasses pass unchanged, everything else becomes kInternal.
+[[noreturn]] void rethrow_typed(std::exception_ptr error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const HhError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw HhError(StatusCode::kInternal,
+                  std::string("ThreadPool task threw: ") + e.what());
+  } catch (...) {
+    throw HhError(StatusCode::kInternal,
+                  "ThreadPool task threw a non-standard exception");
+  }
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -25,6 +46,17 @@ ThreadPool::~ThreadPool() {
   }
   cv_task_.notify_all();
   for (auto& w : workers_) w.join();
+  if (stashed_error_) {
+    // Destructors must not throw; surface the swallowed failure in the log.
+    try {
+      rethrow_typed(stashed_error_);
+    } catch (const HhError& e) {
+      log_message(LogLevel::kInfo,
+                  std::string("ThreadPool destroyed with an unreported task "
+                              "failure: ") +
+                      e.what());
+    }
+  }
 }
 
 void ThreadPool::submit(std::function<void()> task) {
@@ -37,8 +69,42 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_idle_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_idle_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
+    error = std::exchange(stashed_error_, nullptr);
+  }
+  if (error) rethrow_typed(error);
+}
+
+void ThreadPool::run_task(std::function<void()> task) {
+  try {
+    task();
+  } catch (...) {
+    // A throwing submit()-ed task must not unwind the worker thread (that
+    // calls std::terminate). Stash the first failure for wait_idle().
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!stashed_error_) stashed_error_ = std::current_exception();
+  }
+}
+
+bool ThreadPool::try_help_one() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (tasks_.empty()) return false;
+    task = std::move(tasks_.front());
+    tasks_.pop();
+    ++in_flight_;
+  }
+  run_task(std::move(task));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --in_flight_;
+  }
+  cv_idle_.notify_all();
+  return true;
 }
 
 void ThreadPool::worker_loop() {
@@ -52,7 +118,7 @@ void ThreadPool::worker_loop() {
       tasks_.pop();
       ++in_flight_;
     }
-    task();
+    run_task(std::move(task));
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --in_flight_;
@@ -68,26 +134,50 @@ void ThreadPool::parallel_for(
       std::min<std::int64_t>(n, static_cast<std::int64_t>(size()) * 4);
   const std::int64_t chunk = (n + blocks - 1) / blocks;
 
-  std::atomic<std::size_t> pending{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  // Per-call completion group: this call waits for exactly its own blocks,
+  // not for whole-pool idleness, so concurrent parallel_for callers cannot
+  // block on each other's tasks. shared_ptr keeps the group alive for any
+  // block that finishes after an exceptional unwind.
+  struct CallGroup {
+    std::mutex m;
+    std::condition_variable cv;
+    std::int64_t remaining = 0;
+    std::exception_ptr first_error;
+  };
+  const auto group = std::make_shared<CallGroup>();
+  group->remaining = (n + chunk - 1) / chunk;
 
   for (std::int64_t begin = 0; begin < n; begin += chunk) {
     const std::int64_t end = std::min(n, begin + chunk);
-    pending.fetch_add(1, std::memory_order_relaxed);
-    submit([&, begin, end] {
+    submit([group, &fn, begin, end] {
       try {
         fn(begin, end);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        std::lock_guard<std::mutex> lock(group->m);
+        if (!group->first_error) group->first_error = std::current_exception();
       }
-      pending.fetch_sub(1, std::memory_order_acq_rel);
+      std::lock_guard<std::mutex> lock(group->m);
+      if (--group->remaining == 0) group->cv.notify_all();
     });
   }
-  wait_idle();
-  HH_CHECK(pending.load() == 0);
-  if (first_error) std::rethrow_exception(first_error);
+
+  // Help drain the shared queue while this call's blocks are pending. The
+  // queue may hand us another caller's task — running it here only speeds
+  // that caller up — and helping is what makes nested parallel_for calls
+  // progress even when every worker is blocked inside an outer call.
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(group->m);
+      if (group->remaining == 0) break;
+    }
+    if (!try_help_one()) {
+      // Queue empty: every remaining block is already running on a worker.
+      std::unique_lock<std::mutex> lock(group->m);
+      group->cv.wait(lock, [&] { return group->remaining == 0; });
+      break;
+    }
+  }
+  if (group->first_error) std::rethrow_exception(group->first_error);
 }
 
 ThreadPool& ThreadPool::global() {

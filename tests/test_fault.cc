@@ -511,7 +511,15 @@ TEST_F(FaultRecoveryTest, SameSeedReplaysIdenticalScheduleAndReports) {
 
   // Deterministic replay: identical fault schedule, identical recovery
   // decisions, identical spans and timings — down to the rendered JSON.
-  EXPECT_EQ(first.batch.to_json(), second.batch.to_json());
+  // Workspace-pool reuse counts are the one exception: they reflect how
+  // many host threads held a buffer simultaneously (workers plus the
+  // work-helping parallel_for caller), not the simulated schedule, so they
+  // are zeroed out of the comparison.
+  BatchReport fb = first.batch;
+  BatchReport sb = second.batch;
+  fb.workspace = {};
+  sb.workspace = {};
+  EXPECT_EQ(fb.to_json(), sb.to_json());
   ASSERT_EQ(first.requests.size(), second.requests.size());
   for (std::size_t i = 0; i < first.requests.size(); ++i) {
     EXPECT_EQ(first.requests[i].to_json(), second.requests[i].to_json());
@@ -533,7 +541,13 @@ TEST_F(FaultRecoveryTest, FaultFreePlanIsUnperturbedByTheFaultMachinery) {
   }
   const BatchResult a = plain.drain();
   const BatchResult b = faultless.drain();
-  EXPECT_EQ(a.batch.to_json(), b.batch.to_json());
+  // Workspace-pool reuse counts depend on host thread timing, not on the
+  // schedule (see the replay test above) — zero them out of the comparison.
+  BatchReport ab = a.batch;
+  BatchReport bb = b.batch;
+  ab.workspace = {};
+  bb.workspace = {};
+  EXPECT_EQ(ab.to_json(), bb.to_json());
   EXPECT_EQ(a.requests[0].to_json(), b.requests[0].to_json());
   EXPECT_EQ(faultless.fault_injector().counters(FaultSite::kGpuKernel).ops,
             0u);

@@ -63,11 +63,20 @@ TEST(ResourceTimeline, BackfillHonorsEarliestInsideGap) {
 TEST(ResourceTimeline, ZeroDurationOccupiesNothing) {
   ResourceTimeline t;
   t.reserve("a", 0, 1.0);
+  // The resource is occupied until 1.0, so an instantaneous stage asked for
+  // at 0.25 is stamped when the resource actually frees up — not inside the
+  // busy interval (that timestamp would order it before work it follows).
   const StageSpan z = t.reserve("z", 0.25, 0.0);
-  EXPECT_DOUBLE_EQ(z.start_s, 0.25);
+  EXPECT_DOUBLE_EQ(z.start_s, 1.0);
   EXPECT_DOUBLE_EQ(z.duration_s(), 0);
   EXPECT_DOUBLE_EQ(t.now(), 1.0);   // clock untouched
   EXPECT_DOUBLE_EQ(t.busy(), 1.0);  // occupancy untouched
+
+  // In an idle gap the requested time is granted as-is.
+  t.reserve("b", 3.0, 1.0);
+  const StageSpan g = t.reserve("g", 2.0, 0.0);
+  EXPECT_DOUBLE_EQ(g.start_s, 2.0);
+  EXPECT_DOUBLE_EQ(t.now(), 4.0);
 }
 
 // ----------------------------------------------------------------- service

@@ -67,6 +67,65 @@ TEST(Stats, SummaryEmptyIsZero) {
   const Summary s = summarize(xs);
   EXPECT_EQ(s.n, 0u);
   EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.p95, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+}
+
+// ------------------------------------------------- nearest-rank percentile
+
+TEST(Stats, PercentileSingleElementAnswersEveryQ) {
+  const std::vector<double> xs{42};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.01), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.50), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.00), 42.0);
+}
+
+TEST(Stats, PercentileTwoElements) {
+  // rank = ceil(q * 2): q <= 0.5 picks the smaller, q > 0.5 the larger.
+  const std::vector<double> xs{7, 3};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.51), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.95), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.00), 7.0);
+}
+
+TEST(Stats, PercentileFullQuantileIsMax) {
+  const std::vector<double> xs{5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 5.0);
+}
+
+TEST(Stats, PercentileEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+}
+
+TEST(Stats, PercentileRejectsOutOfRangeQ) {
+  const std::vector<double> xs{1, 2, 3};
+  EXPECT_THROW(percentile(xs, 0.0), CheckError);
+  EXPECT_THROW(percentile(xs, 1.5), CheckError);
+}
+
+TEST(Stats, PercentileSortsUnsortedInput) {
+  const std::vector<double> xs{9, 1, 8, 2, 7, 3, 6, 4, 5, 10};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.90), 9.0);  // rank ceil(9) = 9th of 10
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.95), 10.0);
+}
+
+TEST(Stats, PercentileSortedAgreesWithPercentile) {
+  const std::vector<double> sorted{1, 2, 3, 4, 5, 6, 7, 8};
+  for (const double q : {0.25, 0.5, 0.75, 0.95, 1.0}) {
+    EXPECT_DOUBLE_EQ(percentile_sorted(sorted, q), percentile(sorted, q));
+  }
+}
+
+TEST(Stats, SummaryPercentiles) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.p95, 95.0);
+  EXPECT_DOUBLE_EQ(s.p99, 99.0);
+  EXPECT_LE(s.median, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+  EXPECT_LE(s.p99, s.max);
 }
 
 }  // namespace
