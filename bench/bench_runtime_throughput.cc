@@ -12,23 +12,40 @@
 // fault-free serial reference; the report shows throughput under faults
 // next to the healthy throughput.
 //
+// Part 3 — online autotuning (src/tune/, docs/tuning.md): a fixed-seed
+// 256-request batch (HH_TUNE_REQUESTS) over 8 distinct hot signature pairs
+// (the three Table-I analogues plus five generated power-law matrices)
+// drains twice on identical submissions — tuning off, then tuning on. The
+// tuned run must not lose: makespan and p95 latency <= the untuned
+// baseline, at least one signature promoted to a measured-better threshold,
+// every output bit-identical to run_hh_cpu at the thresholds the service
+// chose, and a same-seed replay bit-identical in outputs with a
+// byte-identical TuneReport JSON.
+//
 //   ./bench_runtime_throughput            # scale via HH_SCALE (default 0.1)
 //   HH_FAULT_GPU_RATE=0.3 HH_FAULT_PCIE_RATE=0.2 HH_FAULT_SEED=7
 //   HH_FAULT_REQUESTS=200 ./bench_runtime_throughput   (env knobs)
 //
-// Prints one JSON object per part (last two lines) with the batch
-// percentiles, makespans, and fault/recovery counters.
+// Prints one JSON object per part with the batch percentiles, makespans,
+// and fault/recovery counters, and writes the combined machine-readable
+// record — part1/part2/part3 plus tuned-vs-untuned deltas — to
+// HH_BENCH_OUT (default BENCH_runtime.json).
 // The faulted drain records a structured trace (unless HH_TRACE_OUT is set
 // to an empty string) and exports it as Chrome trace-event / Perfetto JSON
 // to HH_TRACE_OUT (default bench_runtime_trace.json) — load it at
 // https://ui.perfetto.dev to see the four resource tracks, per-request flow
 // arrows and fault/retry/degrade instants.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
+#include <sstream>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "gen/powerlaw_gen.hpp"
 #include "runtime/service.hpp"
 #include "trace/perfetto_export.hpp"
 
@@ -45,6 +62,12 @@ double env_double(const char* name, double fallback) {
     if (v >= 0) return v;
   }
   return fallback;
+}
+
+std::string jnum(double x) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", x);
+  return buf;
 }
 
 }  // namespace
@@ -105,12 +128,16 @@ int main() {
               serial_makespan / batch.batch.makespan_s);
 
   // Machine-readable record: batch + measured serial reference + requests.
-  std::printf("{\"batch\":%s,\"serial_makespan_s\":%.9g,\"requests\":[",
-              batch.batch.to_json().c_str(), serial_makespan);
+  std::ostringstream part1;
+  part1 << "{\"batch\":" << batch.batch.to_json()
+        << ",\"serial_makespan_s\":" << jnum(serial_makespan)
+        << ",\"requests\":[";
   for (std::size_t i = 0; i < batch.requests.size(); ++i) {
-    std::printf("%s%s", i ? "," : "", batch.requests[i].to_json().c_str());
+    if (i > 0) part1 << ",";
+    part1 << batch.requests[i].to_json();
   }
-  std::printf("]}\n");
+  part1 << "]}";
+  std::printf("%s\n", part1.str().c_str());
 
   // ---- Part 2: the same service under fault injection (docs/robustness.md).
   const double gpu_rate = env_double("HH_FAULT_GPU_RATE", 0.25);
@@ -196,10 +223,177 @@ int main() {
                 faulted.metrics().to_string().c_str());
   }
 
-  std::printf("{\"faulted_batch\":%s,\"gpu_rate\":%.9g,\"pcie_rate\":%.9g,"
-              "\"seed\":%llu,\"trace_events\":%zu}\n",
-              under_faults.batch.to_json().c_str(), gpu_rate, pcie_rate,
-              static_cast<unsigned long long>(cfg.fault_plan.seed),
-              recorder.events().size());
+  std::ostringstream part2;
+  part2 << "{\"faulted_batch\":" << under_faults.batch.to_json()
+        << ",\"gpu_rate\":" << jnum(gpu_rate)
+        << ",\"pcie_rate\":" << jnum(pcie_rate) << ",\"seed\":"
+        << static_cast<unsigned long long>(cfg.fault_plan.seed)
+        << ",\"trace_events\":" << recorder.events().size() << "}";
+  std::printf("%s\n", part2.str().c_str());
+
+  // ---- Part 3: online autotuning — tuned vs untuned, identical traffic.
+  const std::size_t tune_requests = static_cast<std::size_t>(
+      env_double("HH_TUNE_REQUESTS", 256));
+
+  // Eight distinct hot signature pairs: the three Table-I analogues plus
+  // five generated power-law matrices spanning sizes and tail exponents.
+  std::vector<CsrMatrix> tmats;
+  std::vector<std::string> tnames;
+  for (std::size_t m = 0; m < mats.size(); ++m) {
+    tmats.push_back(mats[m]);  // copy: mats stay untouched for part 1/2
+    tnames.emplace_back(names[m]);
+  }
+  // The last two are steep-tail, low-density instances where the analytic
+  // pick is measurably non-optimal (the Phase III harmonic model overrates
+  // the GPU's share on short rows) — the cases the tuner exists to fix.
+  const struct { index_t rows; std::int64_t nnz; double alpha;
+                 std::uint64_t seed; } gens[] = {
+      {2000, 24000, 2.2, 11}, {3000, 30000, 2.6, 12}, {4000, 36000, 3.0, 13},
+      {2000, 16000, 3.0, 24}, {2000, 16000, 3.4, 28},
+  };
+  for (const auto& g : gens) {
+    PowerLawGenConfig pcfg;
+    pcfg.rows = static_cast<index_t>(g.rows * scale * 10);  // scale-stable
+    pcfg.target_nnz = static_cast<std::int64_t>(
+        static_cast<double>(g.nnz) * scale * 10);
+    pcfg.alpha = g.alpha;
+    pcfg.seed = g.seed;
+    tmats.push_back(generate_power_law_matrix(pcfg));
+    std::ostringstream nm;
+    nm << "powerlaw-a" << g.alpha << "-s" << g.seed;
+    tnames.push_back(nm.str());
+  }
+
+  const auto submit_all = [&](SpgemmService& s) {
+    for (std::size_t i = 0; i < tune_requests; ++i) {
+      SpgemmRequest req;
+      req.a = &tmats[i % tmats.size()];
+      req.label = tnames[i % tmats.size()] + "@" +
+                  std::to_string(i / tmats.size());
+      s.submit(std::move(req));
+    }
+  };
+
+  std::printf("\n== online autotuning: %zu requests over %zu hot signature "
+              "pairs ==\n",
+              tune_requests, tmats.size());
+
+  SpgemmService untuned(platform, pool);  // tuning off: today's behaviour
+  submit_all(untuned);
+  const BatchResult base_run = untuned.drain();
+
+  SpgemmService::Config tcfg;
+  tcfg.tune.enabled = true;
+  SpgemmService tuned(platform, pool, tcfg);
+  submit_all(tuned);
+  const BatchResult tuned_run = tuned.drain();
+  const TuneReport tune_rep = tuned.tune_report();
+
+  // Every tuned output must be bit-identical to the serial driver run at
+  // the thresholds the service actually chose for that request (tuning
+  // re-selects among candidates; it must not touch the numerics).
+  std::map<std::tuple<std::size_t, offset_t, offset_t>, CsrMatrix> ref_cache;
+  for (std::size_t i = 0; i < tuned_run.results.size(); ++i) {
+    const RunReport& rep = tuned_run.results[i].report;
+    const std::size_t m = i % tmats.size();
+    const auto key = std::make_tuple(m, rep.threshold_a, rep.threshold_b);
+    auto it = ref_cache.find(key);
+    if (it == ref_cache.end()) {
+      HhCpuOptions opt;
+      opt.threshold_a = rep.threshold_a;
+      opt.threshold_b = rep.threshold_b;
+      it = ref_cache
+               .emplace(key,
+                        run_hh_cpu(tmats[m], tmats[m], opt, platform, pool).c)
+               .first;
+    }
+    if (!bit_identical(it->second, tuned_run.results[i].c)) {
+      std::fprintf(stderr,
+                   "FATAL: tuned request %zu (%s) differs from the serial "
+                   "path at its own thresholds (%lld, %lld)\n",
+                   i, tuned_run.requests[i].label.c_str(),
+                   static_cast<long long>(rep.threshold_a),
+                   static_cast<long long>(rep.threshold_b));
+      return 1;
+    }
+  }
+  std::printf("all %zu tuned outputs bit-identical to the serial path at "
+              "the service-chosen thresholds (%zu distinct plans)\n",
+              tuned_run.results.size(), ref_cache.size());
+
+  // Same-seed replay: bit-identical outputs, byte-identical TuneReport.
+  SpgemmService replay(platform, pool, tcfg);
+  submit_all(replay);
+  const BatchResult replay_run = replay.drain();
+  bool replay_ok = replay_run.results.size() == tuned_run.results.size();
+  for (std::size_t i = 0; replay_ok && i < tuned_run.results.size(); ++i) {
+    replay_ok = bit_identical(tuned_run.results[i].c, replay_run.results[i].c);
+  }
+  const std::string tune_json = tune_rep.to_json();
+  replay_ok = replay_ok && tune_json == replay.tune_report().to_json();
+  if (!replay_ok) {
+    std::fprintf(stderr, "FATAL: same-seed tuned replay diverged\n");
+    return 1;
+  }
+  std::printf("same-seed replay: outputs bit-identical, TuneReport "
+              "byte-identical\n\n");
+
+  std::printf("%s\n", tune_rep.to_string().c_str());
+  std::printf("untuned: makespan %.3f ms, p95 %.3f ms\n",
+              base_run.batch.makespan_s * 1e3,
+              base_run.batch.p95_latency_s * 1e3);
+  std::printf("tuned:   makespan %.3f ms, p95 %.3f ms, %lld promotions\n",
+              tuned_run.batch.makespan_s * 1e3,
+              tuned_run.batch.p95_latency_s * 1e3,
+              static_cast<long long>(tune_rep.promotions));
+
+  // The tuned run must not lose to the baseline it claims to improve.
+  if (tuned_run.batch.makespan_s > base_run.batch.makespan_s ||
+      tuned_run.batch.p95_latency_s > base_run.batch.p95_latency_s) {
+    std::fprintf(stderr, "FATAL: tuned run lost to the untuned baseline\n");
+    return 1;
+  }
+  if (tune_rep.promotions < 1) {
+    std::fprintf(stderr, "FATAL: no signature was promoted\n");
+    return 1;
+  }
+
+  std::ostringstream part3;
+  part3 << "{\"requests\":" << tune_requests
+        << ",\"signatures\":" << tmats.size()
+        << ",\"untuned\":" << base_run.batch.to_json()
+        << ",\"tuned\":" << tuned_run.batch.to_json() << ",\"deltas\":{"
+        << "\"makespan_s\":"
+        << jnum(base_run.batch.makespan_s - tuned_run.batch.makespan_s)
+        << ",\"p50_latency_s\":"
+        << jnum(base_run.batch.p50_latency_s - tuned_run.batch.p50_latency_s)
+        << ",\"p95_latency_s\":"
+        << jnum(base_run.batch.p95_latency_s - tuned_run.batch.p95_latency_s)
+        << ",\"p99_latency_s\":"
+        << jnum(base_run.batch.p99_latency_s - tuned_run.batch.p99_latency_s)
+        << ",\"makespan_speedup\":"
+        << jnum(base_run.batch.makespan_s /
+                std::max(tuned_run.batch.makespan_s, 1e-300))
+        << "},\"replay_identical\":true,\"tune_report\":" << tune_json << "}";
+  std::printf("%s\n", part3.str().c_str());
+
+  // Combined machine-readable record for the CI artifact.
+  const char* bench_env = std::getenv("HH_BENCH_OUT");
+  const std::string bench_path =
+      bench_env != nullptr ? bench_env : "BENCH_runtime.json";
+  if (!bench_path.empty()) {
+    if (std::FILE* f = std::fopen(bench_path.c_str(), "w")) {
+      std::fprintf(f,
+                   "{\"bench\":\"runtime_throughput\",\"scale\":%s,"
+                   "\"part1\":%s,\"part2\":%s,\"part3\":%s}\n",
+                   jnum(scale).c_str(), part1.str().c_str(),
+                   part2.str().c_str(), part3.str().c_str());
+      std::fclose(f);
+      std::printf("\nbench record -> %s\n", bench_path.c_str());
+    } else {
+      std::fprintf(stderr, "WARNING: could not write %s\n",
+                   bench_path.c_str());
+    }
+  }
   return 0;
 }

@@ -14,7 +14,9 @@ namespace hh {
 std::vector<offset_t> threshold_candidates(const CsrMatrix& m,
                                            int max_candidates) {
   HH_CHECK(max_candidates >= 2);
-  const RowStats s = row_stats(m);
+  // Degenerate inputs (no rows, no nonzeros) have no row-size range to
+  // cover; a minimal two-point grid keeps every sweep well-defined.
+  const RowStats s = (m.rows > 0 && m.nnz() > 0) ? row_stats(m) : RowStats{};
   const offset_t lo = std::max<offset_t>(2, s.min + 1);
   const offset_t hi = std::max<offset_t>(lo + 1, s.max + 1);
   std::vector<offset_t> out;
@@ -27,11 +29,29 @@ std::vector<offset_t> threshold_candidates(const CsrMatrix& m,
     if (out.empty() || t > out.back()) out.push_back(t);
     x *= ratio;
   }
+  // All-equal row lengths collapse the log grid onto one point; hi > lo by
+  // construction, so the endpoint always yields a second distinct candidate.
+  if (out.size() < 2) out.push_back(hi);
+  HH_CHECK(out.front() >= 2);
   return out;
 }
 
-double predict_total_time(const CsrMatrix& a, const CsrMatrix& b, offset_t t,
-                          const HeteroPlatform& platform) {
+std::vector<offset_t> threshold_grid(const CsrMatrix& a, const CsrMatrix& b,
+                                     int max_candidates) {
+  std::vector<offset_t> cand = threshold_candidates(a, max_candidates);
+  if (&a != &b) {
+    const std::vector<offset_t> cb = threshold_candidates(b, max_candidates);
+    cand.insert(cand.end(), cb.begin(), cb.end());
+    std::sort(cand.begin(), cand.end());
+    cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
+  }
+  return cand;
+}
+
+PredictedBreakdown predict_breakdown(const CsrMatrix& a, const CsrMatrix& b,
+                                     offset_t t,
+                                     const HeteroPlatform& platform,
+                                     const CostCorrection& corr) {
   const RowPartition pa = classify_rows(a, t);
   const RowPartition pb = classify_rows(b, t);
 
@@ -48,13 +68,16 @@ double predict_total_time(const CsrMatrix& a, const CsrMatrix& b, offset_t t,
           ? estimate_partial_product(a, b, pa.low_rows, pb.is_high, false)
           : ProductStats{};
   const double t2_cpu =
-      platform.cpu().kernel_time(hh, ws_bh, true, /*blockable=*/true);
-  double t2_gpu = platform.gpu().kernel_time(ll);
+      corr.cpu * platform.cpu().kernel_time(hh, ws_bh, true, /*blockable=*/true);
+  const double t2_gpu_kernel = corr.gpu * platform.gpu().kernel_time(ll);
+  double t2_gpu = t2_gpu_kernel;
   // The GPU only waits for the input transfer if this threshold gives it
   // any work at all; a CPU-only partition skips the link entirely.
+  double transfer_in = 0;
   if (ll.flops > 0 || pa.high_count() < a.rows || pb.high_count() < b.rows) {
-    double transfer_in = platform.link().h2d().matrix_transfer_time(a);
+    transfer_in = platform.link().h2d().matrix_transfer_time(a);
     if (&a != &b) transfer_in += platform.link().h2d().matrix_transfer_time(b);
+    transfer_in *= corr.h2d;
     t2_gpu += transfer_in;
   }
   const double t2 = HeteroPlatform::overlap(t2_cpu, t2_gpu);
@@ -75,9 +98,10 @@ double predict_total_time(const CsrMatrix& a, const CsrMatrix& b, offset_t t,
   ProductStats p3 = lh;
   p3.accumulate(hl);
   const double t3_cpu =
-      platform.cpu().kernel_time(lh, ws_bh, true, /*blockable=*/true) +
-      platform.cpu().kernel_time(hl, ws_bl, true, /*blockable=*/false);
-  const double t3_gpu = platform.gpu().kernel_time(p3);
+      corr.cpu *
+      (platform.cpu().kernel_time(lh, ws_bh, true, /*blockable=*/true) +
+       platform.cpu().kernel_time(hl, ws_bl, true, /*blockable=*/false));
+  const double t3_gpu = corr.gpu * platform.gpu().kernel_time(p3);
   const double t3 = (t3_cpu <= 0 || t3_gpu <= 0)
                         ? std::max(t3_cpu, t3_gpu)
                         : t3_cpu * t3_gpu / (t3_cpu + t3_gpu);
@@ -87,32 +111,47 @@ double predict_total_time(const CsrMatrix& a, const CsrMatrix& b, offset_t t,
   // saves link time — the ranking must see that. The GPU's share of the
   // Phase III tuples is its share of the harmonic split, t3/t3_gpu.
   const std::int64_t tuples = hh.tuples + ll.tuples + p3.tuples;
-  const double t4 = platform.cpu().merge_time(tuples);
+  const double t4 = corr.cpu * platform.cpu().merge_time(tuples);
   double gpu_tuples = static_cast<double>(ll.tuples);
   if (t3_gpu > 0) gpu_tuples += static_cast<double>(p3.tuples) * t3 / t3_gpu;
-  const double t_out = platform.link().d2h().transfer_time(16.0 * gpu_tuples);
-  return t2 + t3 + t4 + t_out;
+  const double t_out =
+      corr.d2h * platform.link().d2h().transfer_time(16.0 * gpu_tuples);
+
+  PredictedBreakdown out;
+  out.cpu_s = t2_cpu + t3 + t4;
+  out.gpu_s = t2_gpu_kernel + t3;
+  out.h2d_s = transfer_in;
+  out.d2h_s = t_out;
+  out.total_s = t2 + t3 + t4 + t_out;
+  return out;
+}
+
+double predict_total_time(const CsrMatrix& a, const CsrMatrix& b, offset_t t,
+                          const HeteroPlatform& platform,
+                          const CostCorrection& corr) {
+  return predict_breakdown(a, b, t, platform, corr).total_s;
+}
+
+ThresholdSweep sweep_thresholds(const CsrMatrix& a, const CsrMatrix& b,
+                                const HeteroPlatform& platform,
+                                const CostCorrection& corr) {
+  ThresholdSweep sweep;
+  sweep.grid = threshold_grid(a, b);
+  sweep.predicted_s.reserve(sweep.grid.size());
+  for (std::size_t i = 0; i < sweep.grid.size(); ++i) {
+    sweep.predicted_s.push_back(
+        predict_total_time(a, b, sweep.grid[i], platform, corr));
+    if (sweep.predicted_s[i] < sweep.predicted_s[sweep.best]) sweep.best = i;
+  }
+  HH_CHECK(!sweep.grid.empty());
+  return sweep;
 }
 
 ThresholdChoice pick_threshold_analytic(const CsrMatrix& a,
                                         const CsrMatrix& b,
-                                        const HeteroPlatform& platform) {
-  // Shared candidate grid: union of both matrices' grids.
-  std::vector<offset_t> cand = threshold_candidates(a);
-  const std::vector<offset_t> cb = threshold_candidates(b);
-  cand.insert(cand.end(), cb.begin(), cb.end());
-  std::sort(cand.begin(), cand.end());
-  cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
-
-  ThresholdChoice best;
-  best.predicted_s = -1;
-  for (const offset_t t : cand) {
-    const double pred = predict_total_time(a, b, t, platform);
-    if (best.predicted_s < 0 || pred < best.predicted_s) {
-      best.t = t;
-      best.predicted_s = pred;
-    }
-  }
+                                        const HeteroPlatform& platform,
+                                        const CostCorrection& corr) {
+  const ThresholdChoice best = sweep_thresholds(a, b, platform, corr).choice();
   HH_CHECK(best.predicted_s >= 0);
   return best;
 }
@@ -121,11 +160,7 @@ ThresholdChoice pick_threshold_empirical(const CsrMatrix& a,
                                          const CsrMatrix& b,
                                          const HeteroPlatform& platform,
                                          ThreadPool& pool) {
-  std::vector<offset_t> cand = threshold_candidates(a);
-  const std::vector<offset_t> cb = threshold_candidates(b);
-  cand.insert(cand.end(), cb.begin(), cb.end());
-  std::sort(cand.begin(), cand.end());
-  cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
+  const std::vector<offset_t> cand = threshold_grid(a, b);
 
   ThresholdChoice best;
   best.predicted_s = -1;

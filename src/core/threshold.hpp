@@ -5,6 +5,13 @@
 // small candidate grid with structure-only estimates and the device models
 // — the architecture-aware analytic method — and threshold_candidates()
 // exposes the grid so benches can run the full empirical sweep of Fig. 8.
+//
+// The online autotuner (src/tune/) closes the remaining gap between the two:
+// predict_breakdown() exposes the per-device components of the prediction so
+// measured stage times can be compared against them, and every predictor
+// accepts a CostCorrection (device/cost_model.hpp) carrying the calibrated
+// observed/predicted factors. The default (identity) correction reproduces
+// the uncorrected predictions bit-for-bit.
 #pragma once
 
 #include <vector>
@@ -15,26 +22,76 @@
 namespace hh {
 
 /// Log-spaced candidate thresholds covering the row-size range of `m`
-/// (deduplicated, ascending, at most `max_candidates`).
+/// (deduplicated, ascending, at most `max_candidates`). Never empty and
+/// never contains t <= 1: degenerate inputs (no rows, no nonzeros,
+/// all-equal row lengths) fall back to a minimal {2, 3}-style grid.
 std::vector<offset_t> threshold_candidates(const CsrMatrix& m,
                                            int max_candidates = 12);
+
+/// The shared candidate grid for the pair (A, B): the deduplicated,
+/// ascending union of both matrices' threshold_candidates(). This is the
+/// grid every picker (analytic, empirical, online tuner) ranks over.
+std::vector<offset_t> threshold_grid(const CsrMatrix& a, const CsrMatrix& b,
+                                     int max_candidates = 12);
 
 struct ThresholdChoice {
   offset_t t = 0;
   double predicted_s = 0;  // model-predicted total for this t
 };
 
-/// Predict HH-CPU's total time for threshold t (same t for A and B, as in
-/// the paper's per-matrix sweep) from symbolic estimates: Phase II is the
-/// max of the two device products, Phase III is the harmonic sharing of the
-/// cross products between the devices.
-double predict_total_time(const CsrMatrix& a, const CsrMatrix& b, offset_t t,
-                          const HeteroPlatform& platform);
+/// Per-device components of a predicted HH-CPU run at threshold t, so a
+/// measured run can be compared stage-by-stage (src/tune/calibration.hpp).
+/// cpu_s/gpu_s are predicted busy seconds (Phase II share + the whole
+/// overlapped Phase III window + merge on the CPU side); h2d_s/d2h_s are
+/// link occupancy. total_s is exactly what predict_total_time() returns.
+struct PredictedBreakdown {
+  double cpu_s = 0;
+  double gpu_s = 0;
+  double h2d_s = 0;
+  double d2h_s = 0;
+  double total_s = 0;
+};
 
-/// argmin over threshold_candidates() of predict_total_time().
+/// Predict HH-CPU's time components for threshold t (same t for A and B, as
+/// in the paper's per-matrix sweep) from symbolic estimates: Phase II is the
+/// max of the two device products, Phase III is the harmonic sharing of the
+/// cross products between the devices. Each component is scaled by the
+/// matching CostCorrection factor before the overlap/harmonic combination.
+PredictedBreakdown predict_breakdown(const CsrMatrix& a, const CsrMatrix& b,
+                                     offset_t t,
+                                     const HeteroPlatform& platform,
+                                     const CostCorrection& correction = {});
+
+/// predict_breakdown(...).total_s — kept as the compact form every caller
+/// that only ranks thresholds uses.
+double predict_total_time(const CsrMatrix& a, const CsrMatrix& b, offset_t t,
+                          const HeteroPlatform& platform,
+                          const CostCorrection& correction = {});
+
+/// The full analytic sweep: predicted total for every grid candidate, plus
+/// the argmin. pick_threshold_analytic() is this sweep reduced to its best
+/// entry; the online tuner keeps the whole ranking so exploration can try
+/// near-tied candidates in predicted order.
+struct ThresholdSweep {
+  std::vector<offset_t> grid;       // ascending, deduplicated
+  std::vector<double> predicted_s;  // parallel to grid
+  std::size_t best = 0;             // argmin index into grid/predicted_s
+
+  ThresholdChoice choice() const {
+    return {grid.empty() ? 0 : grid[best],
+            grid.empty() ? 0.0 : predicted_s[best]};
+  }
+};
+
+ThresholdSweep sweep_thresholds(const CsrMatrix& a, const CsrMatrix& b,
+                                const HeteroPlatform& platform,
+                                const CostCorrection& correction = {});
+
+/// argmin over threshold_grid() of predict_total_time().
 ThresholdChoice pick_threshold_analytic(const CsrMatrix& a,
                                         const CsrMatrix& b,
-                                        const HeteroPlatform& platform);
+                                        const HeteroPlatform& platform,
+                                        const CostCorrection& correction = {});
 
 /// The paper's method (§III-A): run the full algorithm for every candidate
 /// threshold and keep the best *measured* total. Costs one full multiply per

@@ -43,7 +43,9 @@ void PlanCache::insert(const PlanKey& key, CachedPlan plan) {
   const auto it = map_.find(key);
   if (it != map_.end()) {
     it->second->second = plan;
-    lru_.splice(lru_.begin(), lru_, it->second);
+    lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+    ++stats_.overwrites;
+    count("overwrites");
     return;
   }
   if (map_.size() >= capacity_) {

@@ -42,10 +42,18 @@ struct PlanKeyHash {
   }
 };
 
-/// The cached decision: the identified thresholds for C = A×B.
+/// The cached decision: the identified thresholds for C = A×B. With the
+/// online autotuner (src/tune/) attached, the entry is versioned and
+/// measured: a promotion overwrites the thresholds with the best-measured
+/// variant, bumps `version`, and records the winning measured total, so a
+/// hit can tell an analytic guess (version 0, measured_s < 0) from a
+/// measured-and-promoted plan.
 struct CachedPlan {
   offset_t threshold_a = 0;
   offset_t threshold_b = 0;
+  std::uint32_t version = 0;  // number of tuner promotions applied
+  double measured_s = -1;     // best measured total backing this plan
+                              // (< 0: analytic only, never measured)
 };
 
 class PlanCache {
@@ -53,7 +61,8 @@ class PlanCache {
   struct Stats {
     std::int64_t hits = 0;
     std::int64_t misses = 0;
-    std::int64_t evictions = 0;
+    std::int64_t evictions = 0;      // capacity victims only
+    std::int64_t overwrites = 0;     // insert() over an existing key
     std::int64_t quarantines = 0;
   };
 
@@ -62,7 +71,9 @@ class PlanCache {
   /// nullopt on miss; a hit refreshes the entry's recency.
   std::optional<CachedPlan> lookup(const PlanKey& key);
 
-  /// Insert or overwrite; evicts the LRU entry when at capacity.
+  /// Insert or overwrite; evicts the LRU entry when at capacity. An
+  /// overwrite of an existing key refreshes the entry's recency and counts
+  /// as an overwrite, never as an eviction (no entry is lost).
   void insert(const PlanKey& key, CachedPlan plan);
 
   /// Drop the entry after a request that used it failed (retry exhaustion,

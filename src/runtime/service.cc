@@ -8,6 +8,7 @@
 
 #include "core/hh_stages.hpp"
 #include "core/partition_plan.hpp"
+#include "core/threshold.hpp"
 #include "fault/checksum.hpp"
 #include "trace/flame.hpp"
 #include "util/check.hpp"
@@ -127,7 +128,8 @@ std::string BatchReport::to_string() const {
      << ", h2d " << ms(h2d_busy_s) << ", d2h " << ms(d2h_busy_s) << "\n";
   os << "  plan cache: " << plan_cache.hits << " hits, " << plan_cache.misses
      << " misses, " << plan_cache.evictions << " evictions, "
-     << plan_cache.quarantines << " quarantines\n";
+     << plan_cache.overwrites << " overwrites, " << plan_cache.quarantines
+     << " quarantines\n";
   os << "  workspace pool: " << workspace.spa_reuses << "/"
      << workspace.spa_acquires << " SPA reuses, " << workspace.coo_reuses
      << "/" << workspace.coo_acquires << " tuple-buffer reuses\n";
@@ -153,6 +155,7 @@ std::string BatchReport::to_json() const {
      << ",\"d2h_busy_s\":" << jnum(d2h_busy_s) << ",\"plan_cache\":{\"hits\":"
      << plan_cache.hits << ",\"misses\":" << plan_cache.misses
      << ",\"evictions\":" << plan_cache.evictions
+     << ",\"overwrites\":" << plan_cache.overwrites
      << ",\"quarantines\":" << plan_cache.quarantines
      << "},\"workspace\":{\"spa_acquires\":" << workspace.spa_acquires
      << ",\"spa_reuses\":" << workspace.spa_reuses
@@ -167,8 +170,25 @@ SpgemmService::SpgemmService(const HeteroPlatform& platform, ThreadPool& pool,
       pool_(pool),
       config_(config),
       plan_cache_(config.plan_cache_capacity),
-      injector_(config.fault_plan) {
+      injector_(config.fault_plan),
+      tuner_(config.tune),
+      calib_(config.tune.calibration) {
   plan_cache_.bind_metrics(&metrics_);
+}
+
+TuneReport SpgemmService::tune_report() const {
+  TuneReport r = tuner_.report();
+  r.enabled = config_.tune.enabled;
+  r.drift_events = calib_.drift_events();
+  r.calibration.reserve(CalibrationStore::kDevices);
+  for (int i = 0; i < CalibrationStore::kDevices; ++i) {
+    const auto d = static_cast<CalibrationStore::Device>(i);
+    const CalibrationStore::DeviceState& s = calib_.state(d);
+    r.calibration.push_back({CalibrationStore::name(d), s.samples,
+                             std::exp(s.mean_log_ratio),
+                             calib_.correction(d), s.drift});
+  }
+  return r;
 }
 
 namespace {
@@ -329,6 +349,10 @@ BatchResult SpgemmService::drain() {
     offset_t t_a = req.options.threshold_a;
     offset_t t_b = req.options.threshold_b;
     const bool cacheable = t_a <= 0 || t_b <= 0;
+    // The autotuner engages only for fully-unpinned requests: a pinned
+    // threshold is the caller's explicit choice, never second-guessed.
+    const bool tunable = config_.tune.enabled && t_a <= 0 && t_b <= 0;
+    offset_t tuned_t = 0;  // the variant this request measures (0 = none)
     PlanKey cache_key;
     if (cacheable) {
       cache_key = PlanKey{signature_of(req.a), signature_of(pb)};
@@ -336,6 +360,23 @@ BatchResult SpgemmService::drain() {
         t_a = cached->threshold_a;
         t_b = cached->threshold_b;
         rr.plan_cache_hit = true;
+        if (tunable) {
+          if (!tuner_.has_entry(cache_key)) {
+            // Plan cached before tuning was enabled: one sweep adopts it.
+            tuner_.admit(cache_key, sweep_thresholds(a, b, platform_,
+                                                     calib_.corrections()));
+          }
+          const ThresholdTuner::Decision d = tuner_.decide(cache_key);
+          metrics_.counter("tune.decisions").inc();
+          tuned_t = d.t;
+          t_a = t_b = d.t;
+          if (d.explore) {
+            metrics_.counter("tune.explorations").inc();
+            if (tr != nullptr) {
+              tr->instant(TraceCategory::kTune, "tune-explore", rr.submit_s);
+            }
+          }
+        }
       }
     }
     if (cacheable && tr != nullptr) {
@@ -343,9 +384,22 @@ BatchResult SpgemmService::drain() {
                   rr.plan_cache_hit ? "plan-cache-hit" : "plan-cache-miss",
                   rr.submit_s);
     }
+    if (tunable && !rr.plan_cache_hit) {
+      // Cold signature pair: run the analytic sweep once (with the current
+      // calibration corrections), remember the full ranking for later
+      // exploration, and serve its best. With an uncalibrated store this is
+      // exactly the pick make_partition_plan would have made on its own.
+      tuner_.admit(cache_key,
+                   sweep_thresholds(a, b, platform_, calib_.corrections()));
+      t_a = t_b = tuner_.incumbent(cache_key);
+      tuned_t = t_a;
+    }
     const PartitionPlan plan = make_partition_plan(a, b, t_a, t_b, platform_);
     if (cacheable && !rr.plan_cache_hit) {
-      plan_cache_.insert(cache_key, {plan.a.threshold, plan.b.threshold});
+      CachedPlan fresh;
+      fresh.threshold_a = plan.a.threshold;
+      fresh.threshold_b = plan.b.threshold;
+      plan_cache_.insert(cache_key, fresh);
     }
     rep.threshold_a = plan.a.threshold;
     rep.threshold_b = plan.b.threshold;
@@ -713,6 +767,55 @@ BatchResult SpgemmService::drain() {
     rep.output_nnz = have_output ? merged.c.nnz() : 0;
     rep.total_s = rr.latency_s;
 
+    // ---- Feed the tuner: only clean requests observe. A faulted, degraded
+    // or cancelled request's timings measure the fault plan, not the plan
+    // quality, and would poison both the variant table and the calibration.
+    if (tunable && tuned_t > 0 && !cancelled && !degraded &&
+        rr.faults.total_faults() == 0) {
+      // What the threshold choice actually controls: compute + merge +
+      // output shipment. Queue wait and input transfer are workload state.
+      const double measured =
+          rep.phase2_s + rep.phase3_s + rep.phase4_s + rep.transfer_out_s;
+      metrics_.counter("tune.measurements").inc();
+      if (const auto promo = tuner_.observe(cache_key, tuned_t, measured)) {
+        CachedPlan promoted;
+        promoted.threshold_a = promo->to_t;
+        promoted.threshold_b = promo->to_t;
+        promoted.version = promo->version;
+        promoted.measured_s = promo->to_best_s;
+        plan_cache_.insert(cache_key, promoted);
+        metrics_.counter("tune.promotions").inc();
+        if (tr != nullptr) {
+          tr->instant(TraceCategory::kTune, "tune-promote", rr.finish_s);
+        }
+      }
+      // Calibrate the cost model against this request's observed stage
+      // times (per device; transfers only when bytes actually moved).
+      const PredictedBreakdown pred =
+          predict_breakdown(a, b, tuned_t, platform_);
+      const double obs_cpu = rep.phase2_cpu_s + rep.phase3_cpu_s + rep.phase4_s;
+      const double obs_gpu = rep.phase2_gpu_s + rep.phase3_gpu_s;
+      bool drift = false;
+      drift |= calib_.record(CalibrationStore::Device::kCpu, pred.cpu_s,
+                             obs_cpu);
+      drift |= calib_.record(CalibrationStore::Device::kGpu, pred.gpu_s,
+                             obs_gpu);
+      if (rep.transfer_in_s > 0) {
+        drift |= calib_.record(CalibrationStore::Device::kH2D, pred.h2d_s,
+                               rep.transfer_in_s);
+      }
+      if (rep.transfer_out_s > 0) {
+        drift |= calib_.record(CalibrationStore::Device::kD2H, pred.d2h_s,
+                               rep.transfer_out_s);
+      }
+      if (drift) {
+        metrics_.counter("tune.drift_events").inc();
+        if (tr != nullptr) {
+          tr->instant(TraceCategory::kTune, "tune-drift", rr.finish_s);
+        }
+      }
+    }
+
     makespan = std::max(makespan, rr.finish_s);
     latencies.push_back(rr.latency_s);
 
@@ -778,6 +881,19 @@ BatchResult SpgemmService::drain() {
   metrics_.gauge("service.gpu_busy_s").set(batch.gpu_busy_s);
   metrics_.gauge("service.h2d_busy_s").set(batch.h2d_busy_s);
   metrics_.gauge("service.d2h_busy_s").set(batch.d2h_busy_s);
+  if (config_.tune.enabled) {
+    metrics_.gauge("tune.entries").set(static_cast<double>(tuner_.entries()));
+    metrics_.gauge("tune.converged").set(
+        static_cast<double>(tuner_.converged()));
+    metrics_.gauge("tune.calibration.cpu")
+        .set(calib_.correction(CalibrationStore::Device::kCpu));
+    metrics_.gauge("tune.calibration.gpu")
+        .set(calib_.correction(CalibrationStore::Device::kGpu));
+    metrics_.gauge("tune.calibration.h2d")
+        .set(calib_.correction(CalibrationStore::Device::kH2D));
+    metrics_.gauge("tune.calibration.d2h")
+        .set(calib_.correction(CalibrationStore::Device::kD2H));
+  }
 
   // The batch flame is built from the per-request spans (not the recorder),
   // so the text view works even with tracing compiled out or disabled.

@@ -53,6 +53,8 @@
 #include "spgemm/workspace.hpp"
 #include "trace/metrics.hpp"
 #include "trace/trace.hpp"
+#include "tune/calibration.hpp"
+#include "tune/tuner.hpp"
 #include "util/status.hpp"
 #include "util/thread_pool.hpp"
 
@@ -163,6 +165,13 @@ class SpgemmService {
     RecoveryPolicy recovery;
     std::size_t admission_capacity = 0;  // max pending; 0 = unbounded
     double default_deadline_s = 0;       // per-request default; 0 = none
+    // Online autotuning (src/tune/, docs/tuning.md): measured-feedback
+    // refinement of cached thresholds plus cost-model calibration. Off by
+    // default — a disabled tuner leaves every request, report and metric
+    // exactly as they were without the subsystem. Tuning never changes
+    // output bits: it only re-selects among threshold candidates, and every
+    // candidate computes the same product.
+    TuneConfig tune;
     // Optional structured tracing (trace/trace.hpp). The recorder must
     // outlive the service; it records nothing until enable()d. Every
     // timeline placement, device attempt outcome, retry, degradation and
@@ -193,6 +202,14 @@ class SpgemmService {
   PlanCache& plan_cache() { return plan_cache_; }
   WorkspacePool& workspace_pool() { return workspace_; }
   const FaultInjector& fault_injector() const { return injector_; }
+  const ThresholdTuner& tuner() const { return tuner_; }
+  const CalibrationStore& calibration() const { return calib_; }
+
+  /// Convergence/calibration snapshot of the online autotuner: entries in
+  /// first-seen order, measured variants, promotion versions, per-device
+  /// correction factors. Deterministic — same-seed replays render
+  /// byte-identical JSON.
+  TuneReport tune_report() const;
 
   /// Lifetime-cumulative instruments ("service.*", "plan_cache.*"): request
   /// outcome counters, fault/retry counters, a latency histogram, last-drain
@@ -213,6 +230,8 @@ class SpgemmService {
   PlanCache plan_cache_;
   WorkspacePool workspace_;
   FaultInjector injector_;
+  ThresholdTuner tuner_;
+  CalibrationStore calib_;
   std::vector<SpgemmRequest> queue_;
   std::size_t next_id_ = 0;
   MetricsRegistry metrics_;

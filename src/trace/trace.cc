@@ -11,6 +11,7 @@ const char* to_string(TraceCategory c) {
     case TraceCategory::kRetry: return "retry";
     case TraceCategory::kDegrade: return "degrade";
     case TraceCategory::kCancel: return "cancel";
+    case TraceCategory::kTune: return "tune";
   }
   return "?";
 }

@@ -45,6 +45,7 @@ enum class TraceCategory {
   kRetry = 4,      // a re-attempt was scheduled (with backoff)
   kDegrade = 5,    // request fell back to the CPU-only path
   kCancel = 6,     // request cancelled past its deadline
+  kTune = 7,       // autotuner decision (explore / promote / drift)
 };
 
 const char* to_string(TraceCategory c);

@@ -1,0 +1,88 @@
+// CalibrationStore: measured-feedback calibration of the device cost models.
+//
+// Every completed, fault-free request yields four (predicted, observed)
+// stage pairs — CPU compute, GPU compute, H2D occupancy, D2H occupancy —
+// where the prediction comes from predict_breakdown() (core/threshold.hpp,
+// symbolic estimates through the cost models) and the observation is the
+// exact per-stage simulated time the runtime charged. The store maintains a
+// per-device exponentially-weighted mean of log(observed/predicted):
+//  - correction(): e^mean, clamped — the multiplicative factor that maps the
+//    model's prediction onto what the runtime actually measures. Fed back
+//    into predict_breakdown() via CostCorrection (device/cost_model.hpp) so
+//    analytic picks and explore rankings learn from measurements.
+//  - drift flagging: once a device has enough samples and its mean log-ratio
+//    leaves the configured band, the model is declared drifted; the
+//    transition is an observable event (tune.drift_events, trace instant).
+//
+// Everything here is pure deterministic arithmetic on the simulated clock:
+// same request stream → same corrections, bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "device/cost_model.hpp"
+
+namespace hh {
+
+struct CalibrationConfig {
+  double decay = 0.9;         // weight of history in the log-ratio EWMA
+  int min_samples = 8;        // samples before corrections/drift apply
+  double drift_threshold = 0.25;  // |mean log ratio| beyond which drift flags
+  double max_correction = 4.0;    // factors clamped to [1/max, max]
+};
+
+class CalibrationStore {
+ public:
+  enum class Device { kCpu = 0, kGpu = 1, kH2D = 2, kD2H = 3 };
+  static constexpr int kDevices = 4;
+
+  struct DeviceState {
+    std::int64_t samples = 0;
+    double mean_log_ratio = 0;  // EWMA of log(observed/predicted)
+    double last_ratio = 1.0;    // most recent raw observed/predicted
+    bool drift = false;         // currently outside the drift band
+  };
+
+  explicit CalibrationStore(CalibrationConfig config = {})
+      : config_(config) {}
+
+  /// Ingest one stage measurement. Pairs with a non-positive side are
+  /// ignored (e.g. a resident operand observes zero H2D time — that is
+  /// residency, not model error). Returns true when this sample newly
+  /// flagged the device as drifted (a false→true transition).
+  bool record(Device d, double predicted_s, double observed_s);
+
+  const DeviceState& state(Device d) const {
+    return state_[static_cast<int>(d)];
+  }
+
+  /// e^mean_log_ratio clamped to [1/max_correction, max_correction]; exactly
+  /// 1.0 until the device has min_samples samples, so an uncalibrated store
+  /// is the identity correction.
+  double correction(Device d) const;
+
+  CostCorrection corrections() const {
+    return {correction(Device::kCpu), correction(Device::kGpu),
+            correction(Device::kH2D), correction(Device::kD2H)};
+  }
+
+  std::int64_t total_samples() const;
+  int drift_count() const;  // devices currently flagged as drifted
+  std::int64_t drift_events() const { return drift_events_; }
+
+  const CalibrationConfig& config() const { return config_; }
+
+  static const char* name(Device d);
+
+  /// One JSON object per device: samples, ratio (e^mean), correction, drift.
+  /// Deterministic rendering (fixed device order, %.17g numbers).
+  std::string to_json() const;
+
+ private:
+  CalibrationConfig config_;
+  DeviceState state_[kDevices];
+  std::int64_t drift_events_ = 0;
+};
+
+}  // namespace hh

@@ -4,6 +4,7 @@
 
 #include "runtime/signature.hpp"
 #include "test_util.hpp"
+#include "trace/metrics.hpp"
 #include "util/check.hpp"
 
 namespace hh {
@@ -111,6 +112,47 @@ TEST(PlanCache, InsertOverwritesAndRefreshes) {
 
 TEST(PlanCache, RejectsZeroCapacity) {
   EXPECT_THROW(PlanCache(0), CheckError);
+}
+
+TEST(PlanCache, OverwriteCountsAsOverwriteNotEviction) {
+  MetricsRegistry metrics;
+  PlanCache cache(2);
+  cache.bind_metrics(&metrics);
+  const PlanKey k1{sig(1, 1), sig(1, 1)};
+  const PlanKey k2{sig(2, 2), sig(2, 2)};
+  cache.insert(k1, {1, 1});
+  cache.insert(k2, {2, 2});
+  // The cache is full; overwriting an existing key must not evict anything
+  // (no entry is lost) and must count as an overwrite.
+  cache.insert(k1, {7, 7});
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().overwrites, 1);
+  EXPECT_EQ(cache.stats().evictions, 0);
+  EXPECT_EQ(metrics.counter("plan_cache.overwrites").value(), 1);
+  ASSERT_TRUE(cache.lookup(k1).has_value());
+  EXPECT_EQ(cache.lookup(k1)->threshold_a, 7);
+  EXPECT_TRUE(cache.lookup(k2).has_value());
+
+  // The overwrite refreshed k1's recency: k2 is now the LRU victim when a
+  // third key arrives, and that insert is an eviction, not an overwrite.
+  cache.insert(k1, {8, 8});  // k1 most recent again
+  cache.insert({sig(3, 3), sig(3, 3)}, {3, 3});
+  EXPECT_EQ(cache.stats().overwrites, 2);
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_TRUE(cache.lookup(k1).has_value());
+  EXPECT_FALSE(cache.lookup(k2).has_value());
+
+  // A versioned, measured plan round-trips through the cache unchanged.
+  CachedPlan promoted;
+  promoted.threshold_a = 9;
+  promoted.threshold_b = 9;
+  promoted.version = 3;
+  promoted.measured_s = 1.5e-3;
+  cache.insert(k1, promoted);
+  const auto got = cache.lookup(k1);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->version, 3u);
+  EXPECT_DOUBLE_EQ(got->measured_s, 1.5e-3);
 }
 
 TEST(PlanCache, QuarantineDropsEntryAndCounts) {
