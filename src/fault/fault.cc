@@ -30,6 +30,7 @@ const char* to_string(FaultSite site) {
     case FaultSite::kH2D: return "h2d";
     case FaultSite::kD2H: return "d2h";
     case FaultSite::kCpuWorker: return "cpu_worker";
+    case FaultSite::kShard: return "shard";
   }
   return "?";
 }
@@ -40,13 +41,14 @@ const FaultSpec& FaultPlan::spec(FaultSite site) const {
     case FaultSite::kH2D: return h2d;
     case FaultSite::kD2H: return d2h;
     case FaultSite::kCpuWorker: return cpu_worker;
+    case FaultSite::kShard: return shard;
   }
   return gpu_kernel;  // unreachable
 }
 
 FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
   for (FaultSpec* s : {&plan_.gpu_kernel, &plan_.h2d, &plan_.d2h,
-                       &plan_.cpu_worker}) {
+                       &plan_.cpu_worker, &plan_.shard}) {
     std::sort(s->trigger_ops.begin(), s->trigger_ops.end());
   }
 }

@@ -31,8 +31,19 @@
 
 namespace hh {
 
-enum class FaultSite { kGpuKernel = 0, kH2D = 1, kD2H = 2, kCpuWorker = 3 };
-inline constexpr int kFaultSiteCount = 4;
+enum class FaultSite {
+  kGpuKernel = 0,
+  kH2D = 1,
+  kD2H = 2,
+  kCpuWorker = 3,
+  // Whole-node failure: a shard process dies and must be restarted. Never
+  // interrogated by the device simulators — the shard group runtime
+  // (src/shard/) owns its own injector and consumes one kShard op per shard
+  // slot per scheduling round, so a kill schedule is as replayable as any
+  // device-fault schedule.
+  kShard = 4,
+};
+inline constexpr int kFaultSiteCount = 5;
 
 const char* to_string(FaultSite site);
 
@@ -57,6 +68,7 @@ struct FaultPlan {
   FaultSpec h2d;         // host→device transfer faults
   FaultSpec d2h;         // device→host transfer faults
   FaultSpec cpu_worker;  // worker stalls (delay, not failure)
+  FaultSpec shard;       // whole-shard kills (src/shard/ group runtime only)
 
   /// Of the injected transfer faults, this fraction are corruptions: the
   /// transfer runs to completion but the payload fails checksum
@@ -68,6 +80,9 @@ struct FaultPlan {
   double cpu_stall_s = 5e-4;
 
   const FaultSpec& spec(FaultSite site) const;
+  /// Device-site faults only: the service runtime keys "do I need an
+  /// injector?" on this, and kShard is consumed by the shard group's own
+  /// injector, never by the per-shard service.
   bool enabled() const {
     return gpu_kernel.enabled() || h2d.enabled() || d2h.enabled() ||
            cpu_worker.enabled();

@@ -59,7 +59,25 @@ void PlanCache::insert(const PlanKey& key, CachedPlan plan) {
   publish_size();
 }
 
+std::vector<std::pair<PlanKey, CachedPlan>> PlanCache::export_entries() const {
+  return {lru_.begin(), lru_.end()};
+}
+
+void PlanCache::restore_entries(
+    const std::vector<std::pair<PlanKey, CachedPlan>>& entries) {
+  lru_.clear();
+  map_.clear();
+  for (const auto& [key, plan] : entries) {
+    if (map_.size() >= capacity_) break;
+    if (map_.count(key) != 0) continue;
+    lru_.emplace_back(key, plan);  // input is MRU-first; append keeps order
+    map_.emplace(key, std::prev(lru_.end()));
+  }
+  publish_size();
+}
+
 bool PlanCache::quarantine(const PlanKey& key) {
+  quarantine_log_.push_back(key);
   const auto it = map_.find(key);
   if (it == map_.end()) return false;
   lru_.erase(it->second);

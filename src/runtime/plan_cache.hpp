@@ -18,6 +18,7 @@
 #include <optional>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "runtime/signature.hpp"
 #include "sparse/types.hpp"
@@ -79,8 +80,29 @@ class PlanCache {
   /// Drop the entry after a request that used it failed (retry exhaustion,
   /// deadline miss): the next request with this key re-identifies from
   /// scratch instead of reusing a possibly-implicated plan. Returns whether
-  /// an entry was present. A no-op on absent keys.
+  /// an entry was present. A no-op on absent keys. Every call (hit or not)
+  /// is appended to quarantine_log() so an external supervisor — the shard
+  /// group runtime — can keep its own quarantine ledger across restarts.
   bool quarantine(const PlanKey& key);
+
+  /// Append-only record of every quarantine() call, in call order. The
+  /// shard group reads the tail past its cursor after each drain; a
+  /// rehydrated snapshot must not resurrect a key quarantined after the
+  /// snapshot was taken (src/shard/sharded_service.hpp).
+  const std::vector<PlanKey>& quarantine_log() const {
+    return quarantine_log_;
+  }
+
+  /// The cached entries, most-recently-used first — the snapshot side of
+  /// shard rehydration. Pure read: stats and recency are untouched.
+  std::vector<std::pair<PlanKey, CachedPlan>> export_entries() const;
+
+  /// Replace the contents with `entries` (most-recently-used first, as
+  /// export_entries produces), truncated to capacity. Restores state rather
+  /// than performing inserts: hit/miss/overwrite stats are NOT counted —
+  /// rehydration is bookkeeping, not traffic.
+  void restore_entries(
+      const std::vector<std::pair<PlanKey, CachedPlan>>& entries);
 
   std::size_t size() const { return map_.size(); }
   std::size_t capacity() const { return capacity_; }
@@ -101,6 +123,7 @@ class PlanCache {
   LruList lru_;  // front = most recent
   std::unordered_map<PlanKey, LruList::iterator, PlanKeyHash> map_;
   Stats stats_;
+  std::vector<PlanKey> quarantine_log_;
   MetricsRegistry* metrics_ = nullptr;
 };
 

@@ -123,7 +123,8 @@ std::string BatchReport::to_string() const {
   os << "  faults: gpu " << faults.gpu_aborts << ", h2d " << faults.h2d_faults
      << ", d2h " << faults.d2h_faults << " (" << faults.corruptions
      << " corrupt), cpu stalls " << faults.cpu_stalls << "; retries "
-     << faults.retries << ", backoff " << ms(faults.backoff_s) << "\n";
+     << faults.retries << ", backoff " << ms(faults.backoff_s)
+     << (backoff_jitter ? " (decorrelated jitter)" : "") << "\n";
   os << "  busy: cpu " << ms(cpu_busy_s) << ", gpu " << ms(gpu_busy_s)
      << ", h2d " << ms(h2d_busy_s) << ", d2h " << ms(d2h_busy_s) << "\n";
   os << "  plan cache: " << plan_cache.hits << " hits, " << plan_cache.misses
@@ -144,6 +145,7 @@ std::string BatchReport::to_json() const {
      << ",\"degraded\":" << degraded
      << ",\"deadline_missed\":" << deadline_missed << ",\"shed\":" << shed
      << ",\"faults\":" << faults_json(faults)
+     << ",\"backoff_jitter\":" << jbool(backoff_jitter)
      << ",\"makespan_s\":" << jnum(makespan_s)
      << ",\"sequential_estimate_s\":" << jnum(sequential_estimate_s)
      << ",\"p50_latency_s\":" << jnum(p50_latency_s)
@@ -172,7 +174,8 @@ SpgemmService::SpgemmService(const HeteroPlatform& platform, ThreadPool& pool,
       plan_cache_(config.plan_cache_capacity),
       injector_(config.fault_plan),
       tuner_(config.tune),
-      calib_(config.tune.calibration) {
+      calib_(config.tune.calibration),
+      jitter_rng_(config.recovery.jitter_seed) {
   plan_cache_.bind_metrics(&metrics_);
 }
 
@@ -191,9 +194,7 @@ TuneReport SpgemmService::tune_report() const {
   return r;
 }
 
-namespace {
-
-void validate_request(const SpgemmRequest& request) {
+void validate_spgemm_request(const SpgemmRequest& request) {
   if (request.a == nullptr) {
     throw InvalidArgumentError("request needs an A operand");
   }
@@ -237,10 +238,8 @@ void validate_request(const SpgemmRequest& request) {
   }
 }
 
-}  // namespace
-
 std::size_t SpgemmService::submit(SpgemmRequest request) {
-  validate_request(request);
+  validate_spgemm_request(request);
   if (config_.admission_capacity > 0 &&
       queue_.size() >= config_.admission_capacity) {
     metrics_.counter("service.shed").inc();
@@ -314,9 +313,22 @@ BatchResult SpgemmService::drain() {
     const auto past_deadline = [&](double t) {
       return rr.deadline_s > 0 && t - rr.submit_s > rr.deadline_s + 1e-15;
     };
+    // Decorrelated jitter carries the previous wait forward within one
+    // request; the legacy ladder is a pure function of the failure count.
+    double prev_backoff_s = rp.backoff_base_s;
     const auto backoff_for = [&](int failures) {
-      return rp.backoff_base_s *
-             std::pow(rp.backoff_multiplier, failures - 1);
+      if (!rp.decorrelated_jitter) {
+        return rp.backoff_base_s *
+               std::pow(rp.backoff_multiplier, failures - 1);
+      }
+      const double u = jitter_rng_.uniform();
+      double wait =
+          rp.backoff_base_s + u * (3.0 * prev_backoff_s - rp.backoff_base_s);
+      if (rp.backoff_cap_s > 0 && wait > rp.backoff_cap_s) {
+        wait = rp.backoff_cap_s;
+      }
+      prev_backoff_s = wait;
+      return wait;
     };
     // A CPU stage's duration plus any injected worker stall (stalls delay,
     // never fail). Zero-duration stages consume no injector op so the fault
@@ -849,6 +861,7 @@ BatchResult SpgemmService::drain() {
   batch.d2h_busy_s = d2h.busy();
   batch.plan_cache = plan_cache_.stats();
   batch.workspace = workspace_.stats();
+  batch.backoff_jitter = rp.decorrelated_jitter;
   const std::int64_t shed_total = metrics_.counter("service.shed").value();
   batch.shed = static_cast<std::size_t>(shed_total - shed_at_last_drain_);
   shed_at_last_drain_ = shed_total;

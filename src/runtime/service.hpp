@@ -55,6 +55,7 @@
 #include "trace/trace.hpp"
 #include "tune/calibration.hpp"
 #include "tune/tuner.hpp"
+#include "util/prng.hpp"
 #include "util/status.hpp"
 #include "util/thread_pool.hpp"
 
@@ -67,6 +68,12 @@ struct SpgemmRequest {
   std::string label;
   double deadline_s = 0;  // relative to submit; 0 = Config::default_deadline_s
 };
+
+/// The request validation SpgemmService::submit performs, as a free function
+/// so a fronting layer (the shard group, src/shard/) can reject malformed
+/// requests before routing instead of discovering the throw mid-failover.
+/// Throws InvalidArgumentError; returns normally on a well-formed request.
+void validate_spgemm_request(const SpgemmRequest& request);
 
 /// Per-request fault/recovery accounting.
 struct FaultRecoveryStats {
@@ -132,6 +139,7 @@ struct BatchReport {
   double d2h_busy_s = 0;
   PlanCache::Stats plan_cache;
   WorkspacePool::Stats workspace;
+  bool backoff_jitter = false;  // RecoveryPolicy::decorrelated_jitter echo
   std::string flame;  // per-resource text flame view of the whole batch
 
   std::string to_string() const;
@@ -153,6 +161,15 @@ struct RecoveryPolicy {
   double backoff_base_s = 1e-4;   // wait before the 2nd attempt...
   double backoff_multiplier = 2;  // ...growing geometrically
   int gpu_failures_before_degrade = 3;  // per request, across all GPU stages
+  // Decorrelated-jitter backoff (wait = base + u·(3·prev − base), capped):
+  // spreads retries of correlated faults apart instead of synchronizing them
+  // on the geometric ladder. Off by default — disabled, the service draws
+  // nothing from the jitter stream and behaves byte-identically to before
+  // the knob existed. The draws come from a dedicated deterministic PRNG
+  // (jitter_seed), so same-seed replays stay bit-identical.
+  bool decorrelated_jitter = false;
+  double backoff_cap_s = 5e-2;        // ceiling on one jittered wait
+  std::uint64_t jitter_seed = 0x6a17ULL;
 };
 
 class SpgemmService {
@@ -200,10 +217,15 @@ class SpgemmService {
   BatchResult drain();
 
   PlanCache& plan_cache() { return plan_cache_; }
+  const PlanCache& plan_cache() const { return plan_cache_; }
   WorkspacePool& workspace_pool() { return workspace_; }
   const FaultInjector& fault_injector() const { return injector_; }
   const ThresholdTuner& tuner() const { return tuner_; }
   const CalibrationStore& calibration() const { return calib_; }
+  // Mutable tuner/calibration access for snapshot rehydration (src/shard/):
+  // a restarted shard restores both stores before serving traffic.
+  ThresholdTuner& tuner() { return tuner_; }
+  CalibrationStore& calibration() { return calib_; }
 
   /// Convergence/calibration snapshot of the online autotuner: entries in
   /// first-seen order, measured variants, promotion versions, per-device
@@ -232,6 +254,7 @@ class SpgemmService {
   FaultInjector injector_;
   ThresholdTuner tuner_;
   CalibrationStore calib_;
+  Xoshiro256 jitter_rng_;  // consumed only when decorrelated_jitter is on
   std::vector<SpgemmRequest> queue_;
   std::size_t next_id_ = 0;
   MetricsRegistry metrics_;

@@ -1,0 +1,133 @@
+#include "shard/report.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace hh {
+namespace {
+
+std::string ms(double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f ms", seconds * 1e3);
+  return buf;
+}
+
+std::string jnum(double x) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", x);
+  return buf;
+}
+
+std::string jbool(bool b) { return b ? "true" : "false"; }
+
+std::string faults_json(const FaultRecoveryStats& f) {
+  std::ostringstream os;
+  os << "{\"gpu_aborts\":" << f.gpu_aborts
+     << ",\"h2d_faults\":" << f.h2d_faults
+     << ",\"d2h_faults\":" << f.d2h_faults
+     << ",\"corruptions\":" << f.corruptions
+     << ",\"cpu_stalls\":" << f.cpu_stalls << ",\"retries\":" << f.retries
+     << ",\"backoff_s\":" << jnum(f.backoff_s) << "}";
+  return os.str();
+}
+
+}  // namespace
+
+const char* to_string(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half_open";
+  }
+  return "?";
+}
+
+std::string GroupBatchReport::to_string() const {
+  std::ostringstream os;
+  os << "group: " << requests << " requests over " << shards << " shards, "
+     << rounds << " rounds, makespan " << ms(makespan_s) << "\n";
+  os << "  latency p50 " << ms(p50_latency_s) << ", p95 " << ms(p95_latency_s)
+     << ", p99 " << ms(p99_latency_s) << "\n";
+  os << "  outcome: " << completed << " completed, " << degraded
+     << " degraded, " << deadline_missed << " deadline-missed, " << shed
+     << " shed\n";
+  os << "  churn: " << kills << " kills, " << restarts << " restarts, "
+     << failovers << " failovers, " << deferrals << " deferrals\n";
+  os << "  faults: gpu " << faults.gpu_aborts << ", h2d " << faults.h2d_faults
+     << ", d2h " << faults.d2h_faults << " (" << faults.corruptions
+     << " corrupt), cpu stalls " << faults.cpu_stalls << "; retries "
+     << faults.retries << ", backoff " << ms(faults.backoff_s)
+     << (backoff_jitter ? " (decorrelated jitter)" : "") << "\n";
+  for (const ShardReport& s : shard_reports) {
+    os << "  shard " << s.shard << " [" << s.breaker << "]: " << s.assigned
+       << " assigned, " << s.completed << " completed, " << s.degraded
+       << " degraded, " << s.deadline_missed << " deadline-missed";
+    if (s.failovers_out > 0) os << ", " << s.failovers_out << " failed over";
+    if (s.kills > 0) {
+      os << ", " << s.kills << " kills/" << s.restarts << " restarts";
+    }
+    if (s.breaker_opens > 0) os << ", " << s.breaker_opens << " breaker opens";
+    if (s.rehydrated) os << ", rehydrated";
+    if (s.snapshot_rejected) os << ", SNAPSHOT REJECTED";
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string GroupBatchReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"shards\":" << shards << ",\"requests\":" << requests
+     << ",\"completed\":" << completed << ",\"degraded\":" << degraded
+     << ",\"deadline_missed\":" << deadline_missed << ",\"shed\":" << shed
+     << ",\"failovers\":" << failovers << ",\"deferrals\":" << deferrals
+     << ",\"kills\":" << kills << ",\"restarts\":" << restarts
+     << ",\"rounds\":" << rounds << ",\"makespan_s\":" << jnum(makespan_s)
+     << ",\"p50_latency_s\":" << jnum(p50_latency_s)
+     << ",\"p95_latency_s\":" << jnum(p95_latency_s)
+     << ",\"p99_latency_s\":" << jnum(p99_latency_s)
+     << ",\"faults\":" << faults_json(faults)
+     << ",\"backoff_jitter\":" << jbool(backoff_jitter)
+     << ",\"shard_reports\":[";
+  for (std::size_t i = 0; i < shard_reports.size(); ++i) {
+    const ShardReport& s = shard_reports[i];
+    if (i > 0) os << ",";
+    os << "{\"shard\":" << s.shard << ",\"breaker\":\"" << s.breaker
+       << "\",\"assigned\":" << s.assigned << ",\"completed\":" << s.completed
+       << ",\"degraded\":" << s.degraded
+       << ",\"deadline_missed\":" << s.deadline_missed
+       << ",\"failovers_out\":" << s.failovers_out << ",\"kills\":" << s.kills
+       << ",\"restarts\":" << s.restarts
+       << ",\"breaker_opens\":" << s.breaker_opens
+       << ",\"rehydrated\":" << jbool(s.rehydrated)
+       << ",\"snapshot_rejected\":" << jbool(s.snapshot_rejected)
+       << ",\"faults\":" << faults_json(s.faults)
+       << ",\"plan_cache\":{\"hits\":" << s.plan_cache.hits
+       << ",\"misses\":" << s.plan_cache.misses
+       << ",\"evictions\":" << s.plan_cache.evictions
+       << ",\"overwrites\":" << s.plan_cache.overwrites
+       << ",\"quarantines\":" << s.plan_cache.quarantines << "}}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string GroupTuneReport::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    os << "shard " << i << " tuner:\n" << shards[i].to_string();
+  }
+  return os.str();
+}
+
+std::string GroupTuneReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"shards\":[";
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (i > 0) os << ",";
+    os << shards[i].to_json();
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace hh

@@ -1,0 +1,56 @@
+#include "shard/ring.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/prng.hpp"
+
+namespace hh {
+
+HashRing::HashRing(std::size_t shards, int virtual_nodes, std::uint64_t seed)
+    : shards_(shards) {
+  HH_CHECK_MSG(shards > 0, "hash ring needs at least one shard");
+  HH_CHECK_MSG(virtual_nodes > 0, "hash ring needs at least one vnode");
+  points_.reserve(shards * static_cast<std::size_t>(virtual_nodes));
+  for (std::size_t s = 0; s < shards; ++s) {
+    for (int v = 0; v < virtual_nodes; ++v) {
+      // splitmix64 of a per-(shard, vnode) counter: well-spread deterministic
+      // positions, no dependence on std::hash.
+      std::uint64_t input =
+          seed + 0x9e3779b97f4a7c15ULL *
+                     (s * static_cast<std::uint64_t>(virtual_nodes) + v + 1);
+      points_.push_back({splitmix64(input), s});
+    }
+  }
+  std::sort(points_.begin(), points_.end(), [](const Point& a, const Point& b) {
+    return a.position != b.position ? a.position < b.position
+                                    : a.shard < b.shard;
+  });
+}
+
+std::size_t HashRing::owner(std::uint64_t key_hash) const {
+  auto it = std::lower_bound(points_.begin(), points_.end(), key_hash,
+                             [](const Point& p, std::uint64_t h) {
+                               return p.position < h;
+                             });
+  if (it == points_.end()) it = points_.begin();  // wrap around
+  return it->shard;
+}
+
+std::size_t HashRing::route(std::uint64_t key_hash,
+                            const std::vector<bool>& eligible) const {
+  HH_CHECK_MSG(eligible.size() == shards_,
+               "eligibility mask size does not match shard count");
+  auto it = std::lower_bound(points_.begin(), points_.end(), key_hash,
+                             [](const Point& p, std::uint64_t h) {
+                               return p.position < h;
+                             });
+  for (std::size_t walked = 0; walked < points_.size(); ++walked) {
+    if (it == points_.end()) it = points_.begin();
+    if (eligible[it->shard]) return it->shard;
+    ++it;
+  }
+  return kNoShard;
+}
+
+}  // namespace hh

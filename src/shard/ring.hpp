@@ -1,0 +1,56 @@
+// Consistent-hash ring: plan-affine request routing across shards.
+//
+// The shard group (src/shard/sharded_service.hpp) routes each request by the
+// hash of its plan-cache key — the (signature(A), signature(B)) pair — so
+// repeated products of the same-shaped operands land on the same shard and
+// keep hitting that shard's plan cache, operand residency and tuner entries.
+// A plain `hash % N` would reshuffle almost every key when a shard dies; the
+// classic consistent-hash construction (`virtual_nodes` pseudo-random points
+// per shard on a 64-bit ring, a key owned by the first point clockwise from
+// its hash) moves only the dead shard's keys, and moves each of them to its
+// ring successor — which is exactly the failover target the group wants.
+//
+// Everything is a pure function of (seed, shards, virtual_nodes): the same
+// configuration always builds the same ring, so routing decisions replay
+// bit-identically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hh {
+
+/// Sentinel returned by route() when no shard is eligible.
+inline constexpr std::size_t kNoShard = static_cast<std::size_t>(-1);
+
+class HashRing {
+ public:
+  HashRing(std::size_t shards, int virtual_nodes, std::uint64_t seed);
+
+  std::size_t shards() const { return shards_; }
+
+  /// The shard owning `key_hash` with every shard eligible.
+  std::size_t owner(std::uint64_t key_hash) const;
+
+  /// The first eligible shard clockwise from `key_hash`: the owner when
+  /// `eligible[owner]`, else the owner's ring successor, and so on —
+  /// kNoShard when nothing is eligible. `eligible` must have shards()
+  /// entries.
+  std::size_t route(std::uint64_t key_hash,
+                    const std::vector<bool>& eligible) const;
+
+  /// Number of ring points (shards() * virtual_nodes).
+  std::size_t points() const { return points_.size(); }
+
+ private:
+  struct Point {
+    std::uint64_t position;
+    std::size_t shard;
+  };
+
+  std::size_t shards_;
+  std::vector<Point> points_;  // ascending by position
+};
+
+}  // namespace hh

@@ -1,0 +1,125 @@
+#include "shard/snapshot.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "fault/checksum.hpp"
+#include "runtime/service.hpp"
+
+namespace hh {
+namespace {
+
+// Field-by-field chaining: each scalar is digested from its own bytes so no
+// struct padding ever enters the stream.
+void mix(std::uint64_t& h, std::uint64_t v) { h = fnv1a64(&v, sizeof(v), h); }
+void mix_i64(std::uint64_t& h, std::int64_t v) {
+  mix(h, static_cast<std::uint64_t>(v));
+}
+void mix_f64(std::uint64_t& h, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  mix(h, bits);
+}
+
+void mix_signature(std::uint64_t& h, const MatrixSignature& s) {
+  mix_i64(h, s.rows);
+  mix_i64(h, s.cols);
+  mix_i64(h, s.nnz);
+  mix_i64(h, s.alpha_milli);
+  mix(h, s.degree_digest);
+}
+
+void mix_key(std::uint64_t& h, const PlanKey& k) {
+  mix_signature(h, k.a);
+  mix_signature(h, k.b);
+}
+
+}  // namespace
+
+std::uint64_t ShardSnapshot::compute_checksum() const {
+  std::uint64_t h = kFnv1aOffset;
+  mix(h, static_cast<std::uint64_t>(shard));
+  mix(h, round);
+  mix(h, static_cast<std::uint64_t>(plans.size()));
+  for (const auto& [key, plan] : plans) {
+    mix_key(h, key);
+    mix_i64(h, plan.threshold_a);
+    mix_i64(h, plan.threshold_b);
+    mix(h, plan.version);
+    mix_f64(h, plan.measured_s);
+  }
+  mix(h, static_cast<std::uint64_t>(tuner.entries.size()));
+  for (const TunerSnapshot::Entry& e : tuner.entries) {
+    mix_key(h, e.key);
+    mix(h, static_cast<std::uint64_t>(e.grid.size()));
+    for (const offset_t t : e.grid) mix_i64(h, t);
+    for (const double p : e.predicted_s) mix_f64(h, p);
+    mix(h, static_cast<std::uint64_t>(e.explore_plan.size()));
+    for (const offset_t t : e.explore_plan) mix_i64(h, t);
+    mix(h, static_cast<std::uint64_t>(e.variants.size()));
+    for (const TunerSnapshot::Variant& v : e.variants) {
+      mix_i64(h, v.t);
+      mix_i64(h, v.trials);
+      mix_f64(h, v.best_s);
+      mix_f64(h, v.predicted_s);
+    }
+    mix_i64(h, e.analytic_t);
+    mix_i64(h, e.incumbent_t);
+    mix(h, e.version);
+    mix_i64(h, e.hits);
+    mix_i64(h, e.explorations);
+    mix_i64(h, e.promotions);
+    mix(h, e.converged ? 1u : 0u);
+  }
+  for (const std::uint64_t w : tuner.rng_state) mix(h, w);
+  mix_i64(h, tuner.decisions);
+  mix_i64(h, tuner.explorations);
+  mix_i64(h, tuner.measurements);
+  mix_i64(h, tuner.promotions);
+  for (const CalibrationSnapshot::DeviceState& d : calibration.devices) {
+    mix_i64(h, d.samples);
+    mix_f64(h, d.mean_log_ratio);
+    mix_f64(h, d.last_ratio);
+    mix(h, d.drift ? 1u : 0u);
+  }
+  mix_i64(h, calibration.drift_events);
+  return h;
+}
+
+ShardSnapshot take_shard_snapshot(std::size_t shard, std::uint64_t round,
+                                  const SpgemmService& service) {
+  ShardSnapshot snap;
+  snap.shard = shard;
+  snap.round = round;
+  snap.plans = service.plan_cache().export_entries();
+  snap.tuner = service.tuner().snapshot();
+  snap.calibration = service.calibration().snapshot();
+  snap.checksum = snap.compute_checksum();
+  return snap;
+}
+
+void restore_shard_snapshot(const ShardSnapshot& snap,
+                            const std::vector<PlanKey>& quarantined,
+                            SpgemmService& service) {
+  const auto under_quarantine = [&](const PlanKey& k) {
+    return std::find(quarantined.begin(), quarantined.end(), k) !=
+           quarantined.end();
+  };
+
+  std::vector<std::pair<PlanKey, CachedPlan>> plans;
+  plans.reserve(snap.plans.size());
+  for (const auto& entry : snap.plans) {
+    if (!under_quarantine(entry.first)) plans.push_back(entry);
+  }
+  service.plan_cache().restore_entries(plans);
+
+  TunerSnapshot tuner = snap.tuner;
+  std::erase_if(tuner.entries, [&](const TunerSnapshot::Entry& e) {
+    return under_quarantine(e.key);
+  });
+  service.tuner().restore(tuner);
+
+  service.calibration().restore(snap.calibration);
+}
+
+}  // namespace hh

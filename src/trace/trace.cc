@@ -12,6 +12,7 @@ const char* to_string(TraceCategory c) {
     case TraceCategory::kDegrade: return "degrade";
     case TraceCategory::kCancel: return "cancel";
     case TraceCategory::kTune: return "tune";
+    case TraceCategory::kShard: return "shard";
   }
   return "?";
 }

@@ -46,6 +46,8 @@ enum class TraceCategory {
   kDegrade = 5,    // request fell back to the CPU-only path
   kCancel = 6,     // request cancelled past its deadline
   kTune = 7,       // autotuner decision (explore / promote / drift)
+  kShard = 8,      // shard group event (kill / restart / rehydrate /
+                   // failover / breaker transition)
 };
 
 const char* to_string(TraceCategory c);

@@ -70,6 +70,24 @@ const char* CalibrationStore::name(Device d) {
   return "?";
 }
 
+CalibrationSnapshot CalibrationStore::snapshot() const {
+  CalibrationSnapshot snap;
+  for (int i = 0; i < kDevices; ++i) {
+    snap.devices[i] = {state_[i].samples, state_[i].mean_log_ratio,
+                       state_[i].last_ratio, state_[i].drift};
+  }
+  snap.drift_events = drift_events_;
+  return snap;
+}
+
+void CalibrationStore::restore(const CalibrationSnapshot& snap) {
+  for (int i = 0; i < kDevices; ++i) {
+    state_[i] = {snap.devices[i].samples, snap.devices[i].mean_log_ratio,
+                 snap.devices[i].last_ratio, snap.devices[i].drift};
+  }
+  drift_events_ = snap.drift_events;
+}
+
 std::string CalibrationStore::to_json() const {
   std::ostringstream os;
   os << "{";

@@ -18,12 +18,27 @@
 // same request stream → same corrections, bit for bit.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 
 #include "device/cost_model.hpp"
 
 namespace hh {
+
+/// Complete copyable calibration state, for shard snapshot/rehydration
+/// (src/shard/snapshot.hpp). Restoring a snapshot into a store with the same
+/// config reproduces corrections() bit for bit.
+struct CalibrationSnapshot {
+  struct DeviceState {
+    std::int64_t samples = 0;
+    double mean_log_ratio = 0;
+    double last_ratio = 1.0;
+    bool drift = false;
+  };
+  std::array<DeviceState, 4> devices;
+  std::int64_t drift_events = 0;
+};
 
 struct CalibrationConfig {
   double decay = 0.9;         // weight of history in the log-ratio EWMA
@@ -78,6 +93,11 @@ class CalibrationStore {
   /// One JSON object per device: samples, ratio (e^mean), correction, drift.
   /// Deterministic rendering (fixed device order, %.17g numbers).
   std::string to_json() const;
+
+  /// Copy-out / copy-in of the mutable state (config is NOT part of the
+  /// snapshot — the restoring store keeps its own).
+  CalibrationSnapshot snapshot() const;
+  void restore(const CalibrationSnapshot& snap);
 
  private:
   CalibrationConfig config_;

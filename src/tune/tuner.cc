@@ -165,6 +165,72 @@ std::size_t ThresholdTuner::converged() const {
   return n;
 }
 
+TunerSnapshot ThresholdTuner::snapshot() const {
+  TunerSnapshot snap;
+  snap.entries.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    TunerSnapshot::Entry se;
+    se.key = e.key;
+    se.grid = e.grid;
+    se.predicted_s = e.predicted_s;
+    se.explore_plan = e.explore_plan;
+    se.variants.reserve(e.variants.size());
+    for (const Variant& v : e.variants) {
+      se.variants.push_back({v.t, v.trials, v.best_s, v.predicted_s});
+    }
+    se.analytic_t = e.analytic_t;
+    se.incumbent_t = e.incumbent_t;
+    se.version = e.version;
+    se.hits = e.hits;
+    se.explorations = e.explorations;
+    se.promotions = e.promotions;
+    se.converged = e.converged;
+    snap.entries.push_back(std::move(se));
+  }
+  snap.rng_state = rng_.state();
+  snap.decisions = decisions_;
+  snap.explorations = explorations_;
+  snap.measurements = measurements_;
+  snap.promotions = promotions_;
+  return snap;
+}
+
+void ThresholdTuner::restore(const TunerSnapshot& snap) {
+  entries_.clear();
+  index_.clear();
+  entries_.reserve(snap.entries.size());
+  for (const TunerSnapshot::Entry& se : snap.entries) {
+    Entry e;
+    e.key = se.key;
+    e.grid = se.grid;
+    e.predicted_s = se.predicted_s;
+    e.explore_plan = se.explore_plan;
+    e.variants.reserve(se.variants.size());
+    for (const TunerSnapshot::Variant& v : se.variants) {
+      Variant nv;
+      nv.t = v.t;
+      nv.trials = v.trials;
+      nv.best_s = v.best_s;
+      nv.predicted_s = v.predicted_s;
+      e.variants.push_back(nv);
+    }
+    e.analytic_t = se.analytic_t;
+    e.incumbent_t = se.incumbent_t;
+    e.version = se.version;
+    e.hits = se.hits;
+    e.explorations = se.explorations;
+    e.promotions = se.promotions;
+    e.converged = se.converged;
+    index_.emplace(e.key, entries_.size());
+    entries_.push_back(std::move(e));
+  }
+  rng_.set_state(snap.rng_state);
+  decisions_ = snap.decisions;
+  explorations_ = snap.explorations;
+  measurements_ = snap.measurements;
+  promotions_ = snap.promotions;
+}
+
 TuneReport ThresholdTuner::report() const {
   TuneReport r;
   r.decisions = decisions_;

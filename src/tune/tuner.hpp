@@ -31,6 +31,7 @@
 // and reports.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
@@ -63,6 +64,41 @@ struct TuneConfig {
   double explore_slack = 0.25;   // candidate eligible when its corrected
                                  // predicted total <= (1+slack) * best
   CalibrationConfig calibration;
+};
+
+/// Complete copyable tuner state, for shard snapshot/rehydration
+/// (src/shard/snapshot.hpp). Includes the epsilon-greedy PRNG state: a
+/// restored tuner continues the exact decision stream the snapshotted one
+/// would have produced, which is what makes same-seed group replay
+/// byte-identical across a kill/restart. Entries may be filtered before
+/// restore (e.g. dropping keys under plan-cache quarantine).
+struct TunerSnapshot {
+  struct Variant {
+    offset_t t = 0;
+    int trials = 0;
+    double best_s = 0;
+    double predicted_s = 0;
+  };
+  struct Entry {
+    PlanKey key;
+    std::vector<offset_t> grid;
+    std::vector<double> predicted_s;
+    std::vector<offset_t> explore_plan;
+    std::vector<Variant> variants;
+    offset_t analytic_t = 0;
+    offset_t incumbent_t = 0;
+    std::uint32_t version = 0;
+    int hits = 0;
+    int explorations = 0;
+    int promotions = 0;
+    bool converged = false;
+  };
+  std::vector<Entry> entries;  // first-seen order
+  std::array<std::uint64_t, 4> rng_state{};
+  std::int64_t decisions = 0;
+  std::int64_t explorations = 0;
+  std::int64_t measurements = 0;
+  std::int64_t promotions = 0;
 };
 
 class ThresholdTuner {
@@ -116,6 +152,11 @@ class ThresholdTuner {
   /// Tuner-side report (entries in first-seen order). The service fills in
   /// `enabled`, `drift_events` and the calibration section.
   TuneReport report() const;
+
+  /// Copy-out / copy-in of the mutable state, PRNG included (config is NOT
+  /// part of the snapshot — the restoring tuner keeps its own).
+  TunerSnapshot snapshot() const;
+  void restore(const TunerSnapshot& snap);
 
  private:
   struct Variant {

@@ -6,6 +6,7 @@
 // engine state.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 
@@ -49,6 +50,17 @@ class Xoshiro256 {
   /// Uniform double in [0, 1).
   double uniform() {
     return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// The full 256-bit engine state, for checkpoint/restore. A generator
+  /// restored via set_state() continues the exact stream the snapshot was
+  /// taken from — the basis of byte-identical replay across a service
+  /// restart (src/shard/snapshot.hpp).
+  std::array<std::uint64_t, 4> state() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    for (int i = 0; i < 4; ++i) state_[i] = s[i];
   }
 
   /// Uniform integer in [0, n). n must be > 0.

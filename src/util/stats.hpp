@@ -7,10 +7,16 @@
 
 namespace hh {
 
+// The percentile/Summary ingredients — median, stddev, min_of, max_of,
+// percentile* and summarize — are total over empty samples and return 0:
+// a merged group report legitimately includes shards that contributed zero
+// samples (e.g. a shard that shed every request), and callers should not
+// have to pre-filter. mean/geomean keep their non-empty contract (an
+// average of nothing is a caller bug, not a degenerate sample).
 double mean(std::span<const double> xs);
 double geomean(std::span<const double> xs);  // xs must be positive
 double median(std::vector<double> xs);       // by value: needs to sort
-double stddev(std::span<const double> xs);   // sample standard deviation
+double stddev(std::span<const double> xs);   // sample stddev; 0 when n < 2
 double min_of(std::span<const double> xs);
 double max_of(std::span<const double> xs);
 

@@ -529,6 +529,79 @@ TEST_F(FaultRecoveryTest, SameSeedReplaysIdenticalScheduleAndReports) {
   EXPECT_GT(first.batch.faults.total_faults(), 0);
 }
 
+// --------------------------------------------------- retry backoff jitter
+
+TEST_F(FaultRecoveryTest, DecorrelatedJitterIsDeterministicAndCapped) {
+  SpgemmService::Config cfg;
+  cfg.fault_plan.gpu_kernel.rate = 0.3;
+  cfg.fault_plan.h2d.rate = 0.2;
+  cfg.keep_inputs_resident = false;
+  cfg.recovery.decorrelated_jitter = true;
+
+  auto run_once = [&]() {
+    SpgemmService service(plat_, pool_, cfg);
+    for (std::size_t i = 0; i < 12; ++i) {
+      service.submit({&mat(i), nullptr, {}, "j" + std::to_string(i)});
+    }
+    return service.drain();
+  };
+  const BatchResult a = run_once();
+  const BatchResult b = run_once();
+
+  // The jitter stream is seeded, not wall-clock: same-seed replays render
+  // byte-identical reports (workspace reuse excluded, as elsewhere).
+  BatchReport ab = a.batch;
+  BatchReport bb = b.batch;
+  ab.workspace = {};
+  bb.workspace = {};
+  EXPECT_EQ(ab.to_json(), bb.to_json());
+
+  // Retries happened, every wait respected the cap, the knob is echoed.
+  EXPECT_GT(a.batch.faults.retries, 0);
+  EXPECT_GT(a.batch.faults.backoff_s, 0);
+  EXPECT_LE(a.batch.faults.backoff_s,
+            a.batch.faults.retries * cfg.recovery.backoff_cap_s + 1e-12);
+  EXPECT_TRUE(a.batch.backoff_jitter);
+  EXPECT_NE(a.batch.to_json().find("\"backoff_jitter\":true"),
+            std::string::npos);
+
+  // Jitter moves waits, never numerics: outputs stay bit-identical.
+  expect_bit_identical(serial_reference(wiki_), a.results[0].c, "jitter-w");
+  expect_bit_identical(serial_reference(enron_), a.results[1].c, "jitter-e");
+}
+
+TEST_F(FaultRecoveryTest, JitterKnobOffPreservesLegacyBackoffExactly) {
+  SpgemmService::Config base;
+  base.fault_plan.gpu_kernel.rate = 0.3;
+  base.keep_inputs_resident = false;
+
+  auto run_with = [&](const SpgemmService::Config& cfg) {
+    SpgemmService service(plat_, pool_, cfg);
+    for (std::size_t i = 0; i < 8; ++i) {
+      service.submit({&mat(i), nullptr, {}, "k" + std::to_string(i)});
+    }
+    return service.drain();
+  };
+
+  // With the knob off, the jitter PRNG is never consumed: a config that
+  // differs only in the (unused) jitter seed behaves byte-identically.
+  SpgemmService::Config off = base;
+  off.recovery.jitter_seed = 0x123456789abcdefULL;
+  BatchReport base_b = run_with(base).batch;
+  BatchReport off_b = run_with(off).batch;
+  base_b.workspace = {};
+  off_b.workspace = {};
+  EXPECT_EQ(base_b.to_json(), off_b.to_json());
+  EXPECT_FALSE(base_b.backoff_jitter);
+
+  // Turning it on actually changes the waits.
+  SpgemmService::Config on = base;
+  on.recovery.decorrelated_jitter = true;
+  const BatchResult jittered = run_with(on);
+  EXPECT_GT(jittered.batch.faults.retries, 0);
+  EXPECT_NE(jittered.batch.faults.backoff_s, base_b.faults.backoff_s);
+}
+
 TEST_F(FaultRecoveryTest, FaultFreePlanIsUnperturbedByTheFaultMachinery) {
   // With an empty FaultPlan the service must schedule exactly as if the
   // fault layer did not exist (the injector is never consulted).

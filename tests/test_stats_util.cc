@@ -22,6 +22,33 @@ TEST(Stats, MeanEmptyThrows) {
   EXPECT_THROW(mean(xs), CheckError);
 }
 
+// The Summary ingredients are total over empty samples (a merged group
+// report can legitimately aggregate a shard that contributed zero samples);
+// mean/geomean above keep their throwing contract.
+TEST(Stats, SummaryIngredientsAreTotalOverEmptySamples) {
+  const std::vector<double> none;
+  EXPECT_DOUBLE_EQ(median(none), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(none), 0.0);
+  EXPECT_DOUBLE_EQ(min_of(none), 0.0);
+  EXPECT_DOUBLE_EQ(max_of(none), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(none, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(none, 0.99), 0.0);
+  const Summary s = summarize(none);
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+  EXPECT_DOUBLE_EQ(s.p95, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+}
+
+TEST(Stats, StddevOfSingleSampleIsZero) {
+  const std::vector<double> one{5.0};
+  EXPECT_DOUBLE_EQ(stddev(one), 0.0);
+}
+
 TEST(Stats, Geomean) {
   const std::vector<double> xs{1, 4};
   EXPECT_NEAR(geomean(xs), 2.0, 1e-12);
