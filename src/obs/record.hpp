@@ -1,0 +1,97 @@
+// Workload flight-recorder log format: one JSONL record per served request.
+//
+// A record is everything needed to re-drive the request later (signature
+// pair, submit time, deadline, pinned thresholds) plus everything needed to
+// judge the replay against the original (outcome, chosen thresholds,
+// measured stage totals, output nnz). The log is:
+//
+//  - versioned: the first line is a header object carrying the format
+//    version, the checksum chain seed, and rotation accounting;
+//  - tamper-evident: each record carries a field-chained FNV-1a checksum
+//    (fault/checksum.hpp, the same mixing discipline the shard snapshots
+//    use) seeded from the previous record's checksum, so editing, dropping
+//    or reordering any line breaks verification of everything after it;
+//  - exact: doubles render with %.17g, which round-trips bit-for-bit —
+//    parse-then-reverify reproduces the writer's checksums exactly.
+//
+// parse_workload_log() throws ParseError on any malformed, truncated or
+// tampered line; a log that parses is byte-trustworthy.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/signature.hpp"
+
+namespace hh {
+
+inline constexpr int kWorkloadLogVersion = 1;
+
+struct WorkloadRecord {
+  std::size_t id = 0;        // service/group request id
+  std::uint64_t drain = 0;   // which drain() served it (the replay wave)
+  std::int64_t shard = -1;   // executing shard; -1 for an unsharded service
+  std::string label;
+
+  MatrixSignature a;
+  MatrixSignature b;  // == a for self products
+
+  double submit_s = 0;    // recorder-clock arrival (accumulated over drains)
+  double deadline_s = 0;  // effective relative deadline (0 = none)
+  std::int64_t pin_ta = 0;  // caller-pinned thresholds (0 = service-chosen)
+  std::int64_t pin_tb = 0;
+  std::int64_t ta = 0;  // thresholds the service actually used
+  std::int64_t tb = 0;
+
+  std::string status;  // StatusCode string ("ok", "deadline_exceeded", ...)
+  bool cache_hit = false;
+  bool degraded = false;
+  bool deadline_missed = false;
+
+  double latency_s = 0;
+  double queue_wait_s = 0;
+  double phase1_s = 0;
+  double phase2_s = 0;
+  double phase3_s = 0;
+  double phase4_s = 0;
+  double tx_in_s = 0;
+  double tx_out_s = 0;
+  std::int64_t output_nnz = 0;
+  std::int64_t faults = 0;
+  std::int64_t retries = 0;
+
+  std::uint64_t checksum = 0;  // payload_checksum(previous record's checksum)
+
+  /// Field-chained FNV-1a over every field above (except checksum itself),
+  /// seeded by the previous record's checksum (or the log's chain seed for
+  /// the first record).
+  std::uint64_t payload_checksum(std::uint64_t seed) const;
+
+  /// One flat JSON object, no trailing newline. Doubles are %.17g.
+  std::string to_jsonl() const;
+};
+
+/// A parsed (or in-memory) flight-recorder log.
+struct WorkloadLog {
+  int version = kWorkloadLogVersion;
+  // Checksum seed of the first retained record. Starts at kFnv1aOffset;
+  // after ring rotation it is the checksum of the last record dropped, so
+  // the retained suffix still verifies end-to-end.
+  std::uint64_t chain_seed = 0;
+  std::uint64_t total_appended = 0;  // lifetime appends, rotations included
+  std::uint64_t rotations = 0;       // records dropped by the ring bound
+  std::vector<WorkloadRecord> records;
+
+  /// Header line + one line per record, trailing newline included.
+  std::string to_jsonl() const;
+};
+
+/// Parse a full log (header + records), verifying the checksum chain.
+/// Throws ParseError on a malformed header, a malformed or incomplete
+/// record line, or any record whose checksum does not match its payload
+/// chained from its predecessor.
+WorkloadLog parse_workload_log(const std::string& text);
+
+}  // namespace hh

@@ -1,0 +1,101 @@
+// SloMonitor: named service-level objectives over the request stream.
+//
+// An objective judges every observed request good or bad:
+//  - latency objective (latency_threshold_s > 0): good when the request
+//    completed within the threshold;
+//  - deadline-hit objective (latency_threshold_s == 0): good when the
+//    request completed and did not miss its deadline.
+//
+// Accounting follows the standard error-budget formulation. With target t
+// (the required good fraction), the error budget is (1 - t). Over the
+// sliding window of the last `window` requests,
+//
+//     burn_rate = window_bad_fraction / (1 - t)
+//
+// — burn 1.0 means bad requests arrive exactly as fast as the budget
+// allows; burn 2.0 exhausts the budget in half the window. The remaining
+// budget gauge is 1 - burn_rate (negative when overspending). When the
+// burn rate crosses `burn_alert` upward the monitor bumps the objective's
+// alert counter and drops a kSlo trace instant ("slo-burn-alert"); the
+// downward crossing drops "slo-burn-clear".
+//
+// The monitor is layered on MetricsRegistry via bind_metrics (the PlanCache
+// idiom): when bound, every observation refreshes `slo.<name>.*` counters
+// and gauges in the service's own registry. Deterministic: observations
+// arrive in drain order on the simulated clock, so same-seed runs produce
+// byte-identical to_json() renderings.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace hh {
+
+struct SloObjective {
+  std::string name;       // must satisfy valid_metric_name
+  double target = 0.999;  // required good fraction, in (0, 1)
+  std::size_t window = 256;        // sliding window length (requests)
+  double latency_threshold_s = 0;  // 0 = deadline-hit objective
+  double burn_alert = 1.0;         // alert when burn_rate crosses this
+};
+
+class SloMonitor {
+ public:
+  /// Validates every objective (name, target range, window, thresholds) and
+  /// rejects duplicate names. Throws InvalidArgumentError.
+  explicit SloMonitor(std::vector<SloObjective> objectives);
+
+  /// Publish `slo.<name>.*` instruments into `registry` on every
+  /// observation (nullptr detaches). The registry must outlive the monitor.
+  void bind_metrics(MetricsRegistry* registry) { metrics_ = registry; }
+  /// Drop kSlo instants into `trace` on burn-rate crossings (nullptr
+  /// detaches).
+  void bind_trace(TraceRecorder* trace) { trace_ = trace; }
+
+  /// Feed one finished request. `now_s` is the clock the crossing instants
+  /// are stamped with (the request's finish time on the caller's clock).
+  void observe(double latency_s, bool completed, bool deadline_missed,
+               double now_s);
+
+  std::size_t objectives() const { return objectives_.size(); }
+  const SloObjective& objective(std::size_t i) const { return objectives_[i]; }
+
+  std::int64_t observations() const { return observations_; }
+  /// Lifetime good/bad counts for objective i (good + bad == observations).
+  std::int64_t good(std::size_t i) const { return states_[i].good; }
+  std::int64_t bad(std::size_t i) const { return states_[i].bad; }
+
+  double window_bad_fraction(std::size_t i) const;
+  double burn_rate(std::size_t i) const;
+  double budget_remaining(std::size_t i) const { return 1 - burn_rate(i); }
+  bool alerting(std::size_t i) const { return states_[i].alerting; }
+  /// Upward burn-alert crossings over the monitor's lifetime.
+  std::int64_t alerts(std::size_t i) const { return states_[i].alerts; }
+
+  std::string to_string() const;
+  std::string to_json() const;
+
+ private:
+  struct State {
+    std::deque<bool> window_bad;  // judgement of the last `window` requests
+    std::size_t window_bad_count = 0;
+    std::int64_t good = 0;
+    std::int64_t bad = 0;
+    std::int64_t alerts = 0;
+    bool alerting = false;
+  };
+
+  std::vector<SloObjective> objectives_;
+  std::vector<State> states_;
+  std::int64_t observations_ = 0;
+  MetricsRegistry* metrics_ = nullptr;
+  TraceRecorder* trace_ = nullptr;
+};
+
+}  // namespace hh

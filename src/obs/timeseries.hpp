@@ -1,0 +1,61 @@
+// MetricsTimeline: periodic snapshots of a MetricsRegistry as a time
+// series.
+//
+// The registry holds end-state totals; a replay run also wants the shape of
+// how they got there — when the tuner promoted, when the SLO burn spiked,
+// how the fault counters ramped. The timeline samples the registry's
+// flattened view (counters, gauges, histogram count/sum) at fixed simulated
+// intervals and renders, per series, the raw values plus per-interval
+// deltas and rates.
+//
+// Series discovered after the first sample (instruments register lazily)
+// are backfilled with zeros for the samples they missed, keeping every
+// series aligned with the t_s axis. Deterministic: same run, same JSON.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/metrics.hpp"
+
+namespace hh {
+
+class MetricsTimeline {
+ public:
+  /// `registry` must outlive the timeline. `interval_s` <= 0 disables
+  /// maybe_snapshot (explicit snapshot() still works).
+  MetricsTimeline(const MetricsRegistry* registry, double interval_s);
+
+  /// Take an unconditional sample at `now_s`.
+  void snapshot(double now_s);
+
+  /// Take a sample when at least interval_s has passed since the last one
+  /// (or when none was taken yet). Returns whether a sample was taken.
+  bool maybe_snapshot(double now_s);
+
+  std::size_t samples() const { return t_s_.size(); }
+  double interval_s() const { return interval_s_; }
+
+  /// {"interval_s":..,"samples":N,"t_s":[...],"series":{name:{"kind":"c",
+  /// "values":[...],"deltas":[...],"rates":[...]}}} — deltas are
+  /// sample-over-sample differences (first delta = first value), rates are
+  /// delta / dt (0 for the first sample or a non-advancing clock).
+  std::string to_json() const;
+
+ private:
+  struct Series {
+    std::string name;
+    char kind;
+    std::vector<double> values;  // aligned with t_s_
+  };
+
+  const MetricsRegistry* registry_;
+  double interval_s_;
+  std::vector<double> t_s_;
+  std::vector<Series> series_;  // first-seen order
+  std::unordered_map<std::string, std::size_t> by_name_;
+};
+
+}  // namespace hh

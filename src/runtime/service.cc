@@ -10,6 +10,8 @@
 #include "core/partition_plan.hpp"
 #include "core/threshold.hpp"
 #include "fault/checksum.hpp"
+#include "obs/recorder.hpp"
+#include "obs/slo.hpp"
 #include "trace/flame.hpp"
 #include "util/check.hpp"
 #include "util/stats.hpp"
@@ -839,6 +841,44 @@ BatchResult SpgemmService::drain() {
     seq_estimate += std::max(seq_cpu_end, seq_gpu_end) + rep.transfer_out_s +
                     rep.phase4_s;
 
+    // ---- Flight recorder + SLO feed: the record carries everything the
+    // replay harness needs to re-drive the request (signatures, arrival on
+    // the recorder's accumulated clock, deadline, pinned thresholds) and to
+    // judge the replay (outcome, chosen thresholds, stage totals).
+    if (config_.recorder != nullptr) {
+      WorkloadRecord w;
+      w.id = rr.request_id;
+      w.label = rr.label;
+      w.a = signature_of(req.a);
+      w.b = signature_of(pb);
+      w.submit_s = config_.recorder->clock() + rr.submit_s;
+      w.deadline_s = rr.deadline_s;
+      w.pin_ta = req.options.threshold_a;
+      w.pin_tb = req.options.threshold_b;
+      w.ta = rep.threshold_a;
+      w.tb = rep.threshold_b;
+      w.status = hh::to_string(rr.status.code);
+      w.cache_hit = rr.plan_cache_hit;
+      w.degraded = rr.degraded_to_cpu;
+      w.deadline_missed = rr.deadline_missed;
+      w.latency_s = rr.latency_s;
+      w.queue_wait_s = rr.queue_wait_s;
+      w.phase1_s = rep.phase1_s;
+      w.phase2_s = rep.phase2_s;
+      w.phase3_s = rep.phase3_s;
+      w.phase4_s = rep.phase4_s;
+      w.tx_in_s = rep.transfer_in_s;
+      w.tx_out_s = rep.transfer_out_s;
+      w.output_nnz = rep.output_nnz;
+      w.faults = rr.faults.total_faults();
+      w.retries = rr.faults.retries;
+      config_.recorder->append(std::move(w));
+    }
+    if (config_.slo != nullptr) {
+      config_.slo->observe(rr.latency_s, rr.status.ok(), rr.deadline_missed,
+                           rr.finish_s);
+    }
+
     RunResult res;
     if (have_output) res.c = std::move(merged.c);
     res.report = rep;
@@ -920,6 +960,12 @@ BatchResult SpgemmService::drain() {
     }
   }
   batch.flame = flame_view(flame_events);
+
+  // Close the wave: the recorder's clock absorbs this drain's makespan so
+  // the next drain's records arrive later on the accumulated clock.
+  if (config_.recorder != nullptr) {
+    config_.recorder->advance_clock(batch.makespan_s);
+  }
   return out;
 }
 

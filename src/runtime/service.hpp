@@ -61,6 +61,9 @@
 
 namespace hh {
 
+class WorkloadRecorder;  // obs/recorder.hpp
+class SloMonitor;        // obs/slo.hpp
+
 struct SpgemmRequest {
   const CsrMatrix* a = nullptr;
   const CsrMatrix* b = nullptr;  // nullptr = self product (B is A)
@@ -195,6 +198,17 @@ class SpgemmService {
     // cancellation lands in it with request identity — export with
     // trace/perfetto_export.hpp or render with trace/flame.hpp.
     TraceRecorder* trace = nullptr;
+    // Optional workload flight recorder (obs/recorder.hpp): every drained
+    // request appends one checksum-chained JSONL record (signature pair,
+    // submit time, deadline, pinned thresholds, outcome, stage totals) —
+    // the input of the trace-replay harness (obs/replay.hpp). Must outlive
+    // the service. nullptr = off, with zero behavioural difference.
+    WorkloadRecorder* recorder = nullptr;
+    // Optional SLO monitor (obs/slo.hpp): every drained request is judged
+    // against its objectives; `slo.*` instruments land wherever the monitor
+    // is bound (bind it to this service's metrics() to keep one registry).
+    // Must outlive the service. nullptr = off.
+    SloMonitor* slo = nullptr;
   };
 
   SpgemmService(const HeteroPlatform& platform, ThreadPool& pool,

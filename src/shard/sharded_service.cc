@@ -4,6 +4,8 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/recorder.hpp"
+#include "obs/slo.hpp"
 #include "util/check.hpp"
 #include "util/prng.hpp"
 #include "util/stats.hpp"
@@ -47,10 +49,13 @@ SpgemmService::Config ShardedSpgemmService::shard_config(
   cfg.tune.seed ^= splitmix64(st);
   cfg.recovery.jitter_seed ^= splitmix64(st);
   // The group owns admission (deferral + group_capacity shedding) and
-  // tracing (inner drains run on round-local clocks that would interleave
-  // meaninglessly in one recorder).
+  // observability (inner drains run on round-local clocks that would
+  // interleave meaninglessly in one recorder; the group re-feeds trace,
+  // flight recorder and SLO monitor on the group clock instead).
   cfg.admission_capacity = 0;
   cfg.trace = nullptr;
+  cfg.recorder = nullptr;
+  cfg.slo = nullptr;
   return cfg;
 }
 
@@ -309,6 +314,66 @@ GroupResult ShardedSpgemmService::drain() {
         rr.latency_s = rr.finish_s;
         rr.run.total_s = rr.latency_s;
         rr.flame.clear();  // rendered against a round-local window; stale
+
+        // Re-record the shard-local spans (already mapped to the group
+        // clock) under the shard's own trace track, so one Perfetto export
+        // shows every shard's resource occupancy side by side without
+        // false overlaps on shared CPU/GPU/H2D/D2H rows.
+        if (tr != nullptr) {
+          tr->set_track(static_cast<std::uint32_t>(s) + 1);
+          tr->begin_request(rr.request_id);
+          for (const StageSpan& span : rr.spans) {
+            const bool transfer = span.resource == Resource::kH2D ||
+                                  span.resource == Resource::kD2H;
+            tr->span(transfer ? TraceCategory::kTransfer
+                              : TraceCategory::kCompute,
+                     span.stage, span.resource, span.start_s, span.end_s,
+                     span.start_s);
+          }
+          tr->end_request();
+          tr->set_track(0);
+        }
+
+        // Group-level flight recorder + SLO feed, on the group clock, with
+        // the executing shard stamped on the record.
+        if (config_.recorder != nullptr) {
+          const SpgemmRequest& greq = reqs[gidx];
+          const CsrMatrix* pb = greq.b != nullptr ? greq.b : greq.a;
+          const RunReport& rep = rr.run;
+          WorkloadRecord w;
+          w.id = rr.request_id;
+          w.shard = static_cast<std::int64_t>(s);
+          w.label = rr.label;
+          w.a = signature_of(greq.a);
+          w.b = signature_of(pb);
+          w.submit_s = config_.recorder->clock() + rr.submit_s;
+          w.deadline_s = rr.deadline_s;
+          w.pin_ta = greq.options.threshold_a;
+          w.pin_tb = greq.options.threshold_b;
+          w.ta = rep.threshold_a;
+          w.tb = rep.threshold_b;
+          w.status = hh::to_string(rr.status.code);
+          w.cache_hit = rr.plan_cache_hit;
+          w.degraded = rr.degraded_to_cpu;
+          w.deadline_missed = rr.deadline_missed;
+          w.latency_s = rr.latency_s;
+          w.queue_wait_s = rr.queue_wait_s;
+          w.phase1_s = rep.phase1_s;
+          w.phase2_s = rep.phase2_s;
+          w.phase3_s = rep.phase3_s;
+          w.phase4_s = rep.phase4_s;
+          w.tx_in_s = rep.transfer_in_s;
+          w.tx_out_s = rep.transfer_out_s;
+          w.output_nnz = rep.output_nnz;
+          w.faults = rr.faults.total_faults();
+          w.retries = rr.faults.retries;
+          config_.recorder->append(std::move(w));
+        }
+        if (config_.slo != nullptr) {
+          config_.slo->observe(rr.latency_s, rr.status.ok(),
+                               rr.deadline_missed, rr.finish_s);
+        }
+
         if (rr.deadline_missed) {
           sh.consecutive_failures++;
           sh.deadline_misses++;
@@ -388,6 +453,9 @@ GroupResult ShardedSpgemmService::drain() {
   }
   metrics_.gauge("shard.rounds").set(static_cast<double>(round_));
   metrics_.gauge("shard.makespan_s").set(g.makespan_s);
+  if (config_.recorder != nullptr) {
+    config_.recorder->advance_clock(g.makespan_s);
+  }
   return out;
 }
 

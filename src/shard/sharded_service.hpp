@@ -82,10 +82,20 @@ class ShardedSpgemmService {
     std::uint64_t quarantine_ttl_rounds = 4;  // ledger entry lifetime
     // Template for every shard's SpgemmService. Per-shard seeds (fault
     // plan, tuner, retry jitter) are derived from Config::seed and the
-    // shard index; the template's admission capacity and trace hook are
-    // overridden (the group owns admission and tracing).
+    // shard index; the template's admission capacity and observability
+    // hooks (trace, recorder, slo) are overridden — the group owns
+    // admission and observability, feeding them on the group clock.
     SpgemmService::Config shard;
-    TraceRecorder* trace = nullptr;  // group-level kShard instants
+    // Group-level tracing: kShard instants on track 0, plus every request's
+    // stage spans re-recorded on the group clock under track shard+1 (the
+    // Perfetto exporter renders each shard as its own process, so
+    // per-resource rows never falsely overlap across shards).
+    TraceRecorder* trace = nullptr;
+    // Group-level flight recorder / SLO monitor (obs/): fed once per
+    // request as results map back to the group clock, with the executing
+    // shard stamped on each record. Must outlive the group.
+    WorkloadRecorder* recorder = nullptr;
+    SloMonitor* slo = nullptr;
   };
 
   ShardedSpgemmService(const HeteroPlatform& platform, ThreadPool& pool,

@@ -9,17 +9,11 @@
 namespace hh {
 namespace {
 
-// Field-by-field chaining: each scalar is digested from its own bytes so no
-// struct padding ever enters the stream.
-void mix(std::uint64_t& h, std::uint64_t v) { h = fnv1a64(&v, sizeof(v), h); }
-void mix_i64(std::uint64_t& h, std::int64_t v) {
-  mix(h, static_cast<std::uint64_t>(v));
-}
-void mix_f64(std::uint64_t& h, double v) {
-  std::uint64_t bits = 0;
-  std::memcpy(&bits, &v, sizeof(bits));
-  mix(h, bits);
-}
+// Field-by-field chaining via the shared helpers in fault/checksum.hpp (the
+// workload flight recorder uses the same discipline).
+constexpr auto mix = checksum_mix;
+constexpr auto mix_i64 = checksum_mix_i64;
+constexpr auto mix_f64 = checksum_mix_f64;
 
 void mix_signature(std::uint64_t& h, const MatrixSignature& s) {
   mix_i64(h, s.rows);

@@ -1,11 +1,13 @@
 #include "trace/metrics.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <sstream>
 
 #include "util/check.hpp"
+#include "util/status.hpp"
 
 namespace hh {
 namespace {
@@ -52,6 +54,31 @@ double Histogram::percentile(double q) const {
   return max_;
 }
 
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  const auto head = static_cast<unsigned char>(name.front());
+  if (!std::isalpha(head) && name.front() != '_') return false;
+  for (const char c : name) {
+    const auto u = static_cast<unsigned char>(c);
+    if (!std::isalnum(u) && c != '_' && c != '.' && c != ':' && c != '-') {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+const char* kind_name(int kind) {
+  switch (kind) {
+    case 0: return "counter";
+    case 1: return "gauge";
+    default: return "histogram";
+  }
+}
+
+}  // namespace
+
 const MetricsRegistry::Entry* MetricsRegistry::find(
     const std::string& name) const {
   const auto it = by_name_.find(name);
@@ -63,9 +90,20 @@ MetricsRegistry::Entry& MetricsRegistry::registered(const std::string& name,
   const auto it = by_name_.find(name);
   if (it != by_name_.end()) {
     Entry& e = order_[it->second];
-    HH_CHECK_MSG(e.kind == kind,
-                 "metric '" << name << "' already registered as another kind");
+    if (e.kind != kind) {
+      std::ostringstream os;
+      os << "metric '" << name << "' already registered as a "
+         << kind_name(static_cast<int>(e.kind)) << ", requested as a "
+         << kind_name(static_cast<int>(kind));
+      throw InvalidArgumentError(os.str());
+    }
     return e;
+  }
+  if (!valid_metric_name(name)) {
+    std::ostringstream os;
+    os << "invalid metric name '" << name
+       << "': names match [A-Za-z_][A-Za-z0-9_.:-]*";
+    throw InvalidArgumentError(os.str());
   }
   std::size_t index = 0;
   switch (kind) {
@@ -90,13 +128,43 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> upper_bounds) {
   const Entry* existing = find(name);
   if (existing != nullptr) {
-    HH_CHECK_MSG(existing->kind == Kind::kHistogram,
-                 "metric '" << name << "' already registered as another kind");
+    if (existing->kind != Kind::kHistogram) {
+      std::ostringstream os;
+      os << "metric '" << name << "' already registered as a "
+         << kind_name(static_cast<int>(existing->kind))
+         << ", requested as a histogram";
+      throw InvalidArgumentError(os.str());
+    }
     return histograms_[existing->index];
   }
   Entry& e = registered(name, Kind::kHistogram);
   histograms_.emplace_back(std::move(upper_bounds));
   return histograms_[e.index];
+}
+
+std::vector<FlatMetric> MetricsRegistry::flattened() const {
+  std::vector<FlatMetric> out;
+  out.reserve(order_.size());
+  for (const Entry& e : order_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        out.push_back(
+            {e.name, 'c',
+             static_cast<double>(counters_[e.index].value())});
+        break;
+      case Kind::kGauge:
+        out.push_back({e.name, 'g', gauges_[e.index].value()});
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = histograms_[e.index];
+        out.push_back(
+            {e.name + ".count", 'h', static_cast<double>(h.count())});
+        out.push_back({e.name + ".sum", 'h', h.sum()});
+        break;
+      }
+    }
+  }
+  return out;
 }
 
 std::string MetricsRegistry::to_string() const {

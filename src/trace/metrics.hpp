@@ -74,10 +74,26 @@ class Histogram {
   double max_ = 0;
 };
 
+/// True when `name` is a well-formed instrument name: non-empty, starts with
+/// a letter or '_', and contains only letters, digits and `_ . : -`. No
+/// whitespace — a name with a space would silently alias two series in the
+/// Prometheus-flavoured text rendering.
+bool valid_metric_name(const std::string& name);
+
+/// One instrument flattened to a scalar sample: counters and gauges render
+/// as themselves; a histogram contributes two rows, `<name>.count` and
+/// `<name>.sum`. `kind` is 'c', 'g' or 'h'.
+struct FlatMetric {
+  std::string name;
+  char kind;
+  double value;
+};
+
 class MetricsRegistry {
  public:
-  /// Find-or-create. Throws CheckError if `name` is already registered as a
-  /// different instrument kind.
+  /// Find-or-create. Throws InvalidArgumentError when `name` is malformed
+  /// (see valid_metric_name) or already registered as a different instrument
+  /// kind — a typed error instead of silently aliasing two series.
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   /// `upper_bounds` is consulted only on first creation.
@@ -85,6 +101,11 @@ class MetricsRegistry {
                        std::vector<double> upper_bounds);
 
   std::size_t size() const { return order_.size(); }
+
+  /// Every instrument as scalar samples, in registration order (histograms
+  /// expand to `.count` + `.sum` rows). The sampling surface for
+  /// obs/timeseries.hpp.
+  std::vector<FlatMetric> flattened() const;
 
   /// Prometheus-flavoured text: one `name value` line per instrument (for
   /// histograms: count/sum plus cumulative `le` buckets).

@@ -9,13 +9,18 @@
 namespace hh {
 namespace {
 
-constexpr int kPid = 1;
 // tids 1..kResourceCount are the resource tracks; the service track follows.
 constexpr int kServiceTid = kResourceCount + 1;
 
 int tid_of(const TraceEvent& e) {
   return e.has_resource ? static_cast<int>(e.resource) + 1 : kServiceTid;
 }
+
+// Each TraceEvent track renders as its own Perfetto process, so a shard
+// group's re-recorded per-shard spans (trace/trace.hpp: track = shard + 1)
+// get their own CPU/GPU/H2D/D2H rows instead of falsely overlapping the
+// group's rows.
+int pid_of(const TraceEvent& e) { return static_cast<int>(e.track) + 1; }
 
 // %.17g round-trips the double exactly: a span's ts + dur must equal the
 // next span's ts wherever the timeline placed them back to back, or the
@@ -55,26 +60,40 @@ void append_args(std::ostringstream& os, const TraceEvent& e) {
   os << "}";
 }
 
-void append_meta(std::ostringstream& os, int tid, const char* name) {
-  os << ",{\"ph\":\"M\",\"pid\":" << kPid << ",\"tid\":" << tid
+void append_meta(std::ostringstream& os, int pid, int tid, const char* name) {
+  os << ",{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
      << ",\"name\":\"thread_name\",\"args\":{\"name\":\"" << name << "\"}}";
 }
 
 }  // namespace
 
 std::string chrome_trace_json(const TraceRecorder& recorder) {
+  std::uint32_t max_track = 0;
+  for (const TraceEvent& e : recorder.events()) {
+    max_track = std::max(max_track, e.track);
+  }
+
   std::ostringstream os;
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  os << "{\"ph\":\"M\",\"pid\":" << kPid
-     << ",\"name\":\"process_name\",\"args\":{\"name\":\"hh-runtime\"}}";
-  for (int r = 0; r < kResourceCount; ++r) {
-    append_meta(os, r + 1, to_string(static_cast<Resource>(r)));
+  for (std::uint32_t t = 0; t <= max_track; ++t) {
+    const int pid = static_cast<int>(t) + 1;
+    os << (t == 0 ? "" : ",") << "{\"ph\":\"M\",\"pid\":" << pid
+       << ",\"name\":\"process_name\",\"args\":{\"name\":\"";
+    if (t == 0) {
+      os << "hh-runtime";
+    } else {
+      os << "hh-shard-" << (t - 1);
+    }
+    os << "\"}}";
+    for (int r = 0; r < kResourceCount; ++r) {
+      append_meta(os, pid, r + 1, to_string(static_cast<Resource>(r)));
+    }
+    append_meta(os, pid, kServiceTid, "service");
   }
-  append_meta(os, kServiceTid, "service");
 
   for (const TraceEvent& e : recorder.events()) {
     os << ",{\"name\":\"" << e.name << "\",\"cat\":\""
-       << to_string(e.category) << "\",\"pid\":" << kPid
+       << to_string(e.category) << "\",\"pid\":" << pid_of(e)
        << ",\"tid\":" << tid_of(e) << ",\"ts\":" << us(e.start_s) << ",";
     if (e.kind == TraceEventKind::kSpan) {
       os << "\"ph\":\"X\",\"dur\":" << us_delta(e.start_s, e.end_s) << ",";
@@ -108,7 +127,7 @@ std::string chrome_trace_json(const TraceRecorder& recorder) {
     if (first && last) continue;  // single-span request: nothing to link
     os << ",{\"ph\":\"" << (first ? "s" : last ? "f" : "t")
        << "\",\"id\":" << e.request_id << ",\"name\":\"request\","
-       << "\"cat\":\"flow\",\"pid\":" << kPid << ",\"tid\":" << tid_of(e)
+       << "\"cat\":\"flow\",\"pid\":" << pid_of(e) << ",\"tid\":" << tid_of(e)
        << ",\"ts\":" << us(e.start_s);
     if (last) os << ",\"bp\":\"e\"";
     os << "}";

@@ -13,6 +13,7 @@ const char* to_string(TraceCategory c) {
     case TraceCategory::kCancel: return "cancel";
     case TraceCategory::kTune: return "tune";
     case TraceCategory::kShard: return "shard";
+    case TraceCategory::kSlo: return "slo";
   }
   return "?";
 }

@@ -48,6 +48,7 @@ enum class TraceCategory {
   kTune = 7,       // autotuner decision (explore / promote / drift)
   kShard = 8,      // shard group event (kill / restart / rehydrate /
                    // failover / breaker transition)
+  kSlo = 9,        // SLO burn-rate threshold crossing (obs/slo.hpp)
 };
 
 const char* to_string(TraceCategory c);
@@ -63,6 +64,11 @@ struct TraceEvent {
   double end_s = 0;      // instants: end_s == start_s
   double requested_s = 0;  // spans: earliest start the caller asked for
   std::uint64_t device_op = kNoDeviceOp;  // injector site-local op index
+  // Track group: 0 = the recording service itself; a shard group re-records
+  // shard-local spans under track shard+1 so one recorder can hold several
+  // shards' resource occupancy without false overlaps. The Perfetto exporter
+  // renders each track as its own process.
+  std::uint32_t track = 0;
 };
 
 class TraceRecorder {
@@ -83,12 +89,18 @@ class TraceRecorder {
   void clear() {
     events_.clear();
     current_request_ = kNoRequest;
+    current_track_ = 0;
   }
 
   /// Events recorded from here on carry this request's identity.
   void begin_request(std::size_t id) { current_request_ = id; }
   void end_request() { current_request_ = kNoRequest; }
   std::size_t current_request() const { return current_request_; }
+
+  /// Events recorded from here on land on this track (0 = the recording
+  /// service; a shard group uses shard+1 for re-recorded shard spans).
+  void set_track(std::uint32_t track) { current_track_ = track; }
+  std::uint32_t current_track() const { return current_track_; }
 
   /// A resource occupancy placed by a scheduler. `requested_s` is the
   /// dependence-allowed earliest start; `start_s - requested_s` is the time
@@ -99,7 +111,8 @@ class TraceRecorder {
     if (!enabled_) return;
     events_.push_back({TraceEventKind::kSpan, category, name,
                        /*has_resource=*/true, resource, current_request_,
-                       start_s, end_s, requested_s, device_op});
+                       start_s, end_s, requested_s, device_op,
+                       current_track_});
   }
 
   /// A point event on a resource track (fault observed, retry issued, ...).
@@ -108,7 +121,7 @@ class TraceRecorder {
     if (!enabled_) return;
     events_.push_back({TraceEventKind::kInstant, category, name,
                        /*has_resource=*/true, resource, current_request_, t_s,
-                       t_s, t_s, device_op});
+                       t_s, t_s, device_op, current_track_});
   }
 
   /// A point event on the service track (degradation, cancellation,
@@ -117,7 +130,8 @@ class TraceRecorder {
     if (!enabled_) return;
     events_.push_back({TraceEventKind::kInstant, category, name,
                        /*has_resource=*/false, Resource::kCpu,
-                       current_request_, t_s, t_s, t_s, kNoDeviceOp});
+                       current_request_, t_s, t_s, t_s, kNoDeviceOp,
+                       current_track_});
   }
 
   const std::vector<TraceEvent>& events() const { return events_; }
@@ -125,6 +139,7 @@ class TraceRecorder {
  private:
   bool enabled_ = false;
   std::size_t current_request_ = kNoRequest;
+  std::uint32_t current_track_ = 0;
   std::vector<TraceEvent> events_;
 };
 

@@ -15,6 +15,7 @@
 
 #include "gen/datasets.hpp"
 #include "runtime/service.hpp"
+#include "shard/sharded_service.hpp"
 #include "trace/flame.hpp"
 #include "trace/metrics.hpp"
 #include "trace/perfetto_export.hpp"
@@ -207,11 +208,57 @@ TEST(Metrics, CounterAndGaugeBasics) {
   EXPECT_EQ(&reg.counter("requests"), &reg.counter("requests"));
 }
 
-TEST(Metrics, KindMismatchThrows) {
+TEST(Metrics, KindMismatchThrowsTypedError) {
   MetricsRegistry reg;
   reg.counter("x");
-  EXPECT_THROW(reg.gauge("x"), CheckError);
-  EXPECT_THROW(reg.histogram("x", {1.0}), CheckError);
+  EXPECT_THROW(reg.gauge("x"), InvalidArgumentError);
+  EXPECT_THROW(reg.histogram("x", {1.0}), InvalidArgumentError);
+  try {
+    reg.gauge("x");
+    FAIL() << "expected InvalidArgumentError";
+  } catch (const InvalidArgumentError& e) {
+    EXPECT_NE(std::string(e.what()).find("already registered as a counter"),
+              std::string::npos);
+  }
+}
+
+TEST(Metrics, NameValidation) {
+  EXPECT_TRUE(valid_metric_name("service.completed"));
+  EXPECT_TRUE(valid_metric_name("slo.p95:burn-rate"));
+  EXPECT_TRUE(valid_metric_name("_private"));
+  EXPECT_FALSE(valid_metric_name(""));
+  EXPECT_FALSE(valid_metric_name("has space"));
+  EXPECT_FALSE(valid_metric_name("9starts.with.digit"));
+  EXPECT_FALSE(valid_metric_name(".leading.dot"));
+  EXPECT_FALSE(valid_metric_name("new\nline"));
+
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.counter("has space"), InvalidArgumentError);
+  EXPECT_THROW(reg.gauge(""), InvalidArgumentError);
+  EXPECT_THROW(reg.histogram("a b", {1.0}), InvalidArgumentError);
+  reg.counter("ok.name");  // still accepted after the rejects
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(Metrics, Flattened) {
+  MetricsRegistry reg;
+  reg.counter("c").inc(3);
+  reg.gauge("g").set(2.5);
+  Histogram& h = reg.histogram("h", {1.0});
+  h.observe(0.5);
+  h.observe(4.0);
+  const std::vector<FlatMetric> flat = reg.flattened();
+  ASSERT_EQ(flat.size(), 4u);  // c, g, h.count, h.sum
+  EXPECT_EQ(flat[0].name, "c");
+  EXPECT_EQ(flat[0].kind, 'c');
+  EXPECT_EQ(flat[0].value, 3.0);
+  EXPECT_EQ(flat[1].name, "g");
+  EXPECT_EQ(flat[1].kind, 'g');
+  EXPECT_EQ(flat[2].name, "h.count");
+  EXPECT_EQ(flat[2].kind, 'h');
+  EXPECT_EQ(flat[2].value, 2.0);
+  EXPECT_EQ(flat[3].name, "h.sum");
+  EXPECT_EQ(flat[3].value, 4.5);
 }
 
 TEST(Metrics, HistogramBucketsAndPercentile) {
@@ -453,6 +500,86 @@ TEST_F(TracedServiceTest, DisabledRecorderStaysEmptyAndOutputMatches) {
   EXPECT_EQ(bt.results[0].c.indices, bp.results[0].c.indices);
   EXPECT_EQ(bt.results[0].c.values, bp.results[0].c.values);
   EXPECT_DOUBLE_EQ(bt.batch.makespan_s, bp.batch.makespan_s);
+}
+
+// ------------------------------------------ sharded-group trace export
+
+TEST_F(TracedServiceTest, ShardedGroupExportsPerShardTracks) {
+  if (!TraceRecorder::compiled_in()) GTEST_SKIP() << "tracing compiled out";
+  TraceRecorder rec;
+  rec.enable();
+
+  ShardedSpgemmService::Config gcfg;
+  gcfg.shards = 2;
+  gcfg.trace = &rec;
+  // Kill shard 0 in round 1 so the group-level kShard instants (kill,
+  // failover, restart) land in the trace alongside the per-shard spans.
+  gcfg.shard_faults.trigger_ops = {0};
+  ShardedSpgemmService group(plat_, pool_, gcfg);
+
+  constexpr std::size_t kRequests = 12;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    group.submit({&mat(i), nullptr, {}, "g" + std::to_string(i)});
+  }
+  const GroupResult gr = group.drain();
+  ASSERT_EQ(gr.group.requests, kRequests);
+  ASSERT_EQ(gr.group.completed, kRequests);
+  ASSERT_EQ(gr.group.kills, 1u);
+
+  // The export is valid JSON and renders each shard as its own process.
+  const std::string json = chrome_trace_json(rec);
+  EXPECT_TRUE(JsonValidator(json).valid());
+  EXPECT_NE(json.find("\"hh-runtime\""), std::string::npos);
+  EXPECT_NE(json.find("\"hh-shard-0\""), std::string::npos);
+  EXPECT_NE(json.find("\"hh-shard-1\""), std::string::npos);
+
+  // Group-level kShard instants live on track 0; every span was re-recorded
+  // on its shard's track (never the group track).
+  for (const TraceEvent& e : rec.events()) {
+    if (e.category == TraceCategory::kShard) EXPECT_EQ(e.track, 0u);
+    if (e.kind == TraceEventKind::kSpan) {
+      EXPECT_GE(e.track, 1u);
+      EXPECT_LE(e.track, gcfg.shards);
+    }
+  }
+  EXPECT_GT(count_events(rec, TraceCategory::kShard), 0);
+
+  // Per-(track, resource) spans never overlap: each shard has its own four
+  // timelines, and separating tracks is what keeps two shards' concurrent
+  // GPU work from rendering as a single impossible row.
+  bool saw_span = false;
+  for (std::uint32_t t = 1; t <= gcfg.shards; ++t) {
+    for (int r = 0; r < kResourceCount; ++r) {
+      std::vector<const TraceEvent*> spans;
+      for (const TraceEvent& e : rec.events()) {
+        if (e.kind == TraceEventKind::kSpan && e.track == t &&
+            e.has_resource && static_cast<int>(e.resource) == r) {
+          spans.push_back(&e);
+        }
+      }
+      std::sort(spans.begin(), spans.end(),
+                [](const TraceEvent* a, const TraceEvent* b2) {
+                  return a->start_s < b2->start_s;
+                });
+      for (std::size_t i = 1; i < spans.size(); ++i) {
+        EXPECT_GE(spans[i]->start_s, spans[i - 1]->end_s - 1e-12)
+            << "shard " << t - 1 << " "
+            << to_string(static_cast<Resource>(r)) << " spans overlap";
+      }
+      saw_span = saw_span || !spans.empty();
+    }
+  }
+  EXPECT_TRUE(saw_span);
+
+  // Span counts reconcile with the group result: one traced span per stage
+  // span every request report carries.
+  std::size_t report_spans = 0;
+  for (const RequestReport& r : gr.requests) report_spans += r.spans.size();
+  std::size_t traced_spans = 0;
+  for (const TraceEvent& e : rec.events()) {
+    if (e.kind == TraceEventKind::kSpan) ++traced_spans;
+  }
+  EXPECT_EQ(traced_spans, report_spans);
 }
 
 }  // namespace
