@@ -3,7 +3,8 @@
 // SpgemmService (flight recorder + SLO monitor + trace recorder attached),
 // the recorded JSONL log round-trips through disk with its checksum chain
 // verified, and the replay harness re-drives the log open-loop,
-// closed-loop and across a 2-shard group.
+// closed-loop, across a 2-shard group, and with the batched wave executor
+// enabled (asserting bit-identity against the wave-disabled pass).
 //
 // Hard pass/fail (exit 1 on any violation):
 //  - the written log parses back and re-serialises byte-identically, and a
@@ -236,6 +237,18 @@ int main() {
   check_pass(shard_rep.untuned, "sharded untuned");
   check_pass(shard_rep.tuned, "sharded tuned");
 
+  // ---- Wave executor pass (docs/runtime.md): the same log re-driven with
+  // the batched wave executor on. Zero lost requests, and the outputs must
+  // be bit-identical to the wave-disabled open-loop pass — waves may only
+  // move the schedule, never the bits.
+  ReplayOptions waved = opts;
+  waved.service.wave.enabled = true;
+  const ReplayReport wave_rep = harness.replay(log, waved);
+  check_pass(wave_rep.untuned, "wave-enabled untuned");
+  check_pass(wave_rep.tuned, "wave-enabled tuned");
+  check(wave_rep.untuned.output_digest == open.untuned.output_digest,
+        "wave-enabled outputs differ from the wave-disabled replay");
+
   // ---- Artifacts + summary.
   if (TraceRecorder::compiled_in()) {
     std::ofstream out(trace_path, std::ios::binary);
@@ -251,6 +264,7 @@ int main() {
         << ",\"open\":" << open.to_json()
         << ",\"closed\":" << closed_rep.to_json()
         << ",\"sharded\":" << shard_rep.to_json()
+        << ",\"wave\":" << wave_rep.to_json()
         << ",\"violations\":" << violations << "}\n";
     check(static_cast<bool>(out), "could not write the bench record");
   }
@@ -261,6 +275,9 @@ int main() {
               open.untuned.makespan_s * 1e3);
   std::printf("sharded (2): makespan %.3f ms, %zu lost\n",
               shard_rep.untuned.makespan_s * 1e3, shard_rep.untuned.lost);
+  std::printf("wave-enabled: makespan %.3f ms, %zu lost, outputs identical "
+              "to the wave-disabled replay\n",
+              wave_rep.untuned.makespan_s * 1e3, wave_rep.untuned.lost);
   std::printf("recorded %zu requests over %zu waves (%zu deadline misses), "
               "log %zu bytes -> %s\n",
               n, waves, recorded_misses, log_text.size(), log_path.c_str());

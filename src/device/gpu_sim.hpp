@@ -36,6 +36,15 @@ class GpuSim {
   /// schedule is stable across degenerate partitions.
   DeviceAttempt kernel_attempt(const ProductStats& s, FaultInjector* fi) const;
 
+  /// Batched (wave) costing: the first healthy launch of a wave pays the
+  /// kernel-launch overhead, followers ride the already-hot dispatch queue
+  /// and skip it. `lead == true` is exactly kernel_time. An abort still
+  /// occupies the device for at least the launch overhead — a re-launch is
+  /// a fresh dispatch.
+  double kernel_time_batched(const ProductStats& s, bool lead) const;
+  DeviceAttempt kernel_attempt_batched(const ProductStats& s,
+                                       FaultInjector* fi, bool lead) const;
+
   const GpuCostModel& model() const { return cm_; }
 
  private:

@@ -44,6 +44,19 @@ class PcieChannel {
                                         FaultInjector* fi) const;
   DeviceAttempt tuple_transfer_attempt(std::int64_t n, FaultInjector* fi) const;
 
+  /// Batched (wave-coalesced) costing: the lead transfer of a block pays
+  /// the link latency that opens the shared reservation; followers stream
+  /// back-to-back behind it and pay bytes only. `lead == true` is exactly
+  /// transfer_time. A failed attempt still keeps the latency floor on its
+  /// elapsed time — the retry re-arbitrates the link.
+  double transfer_time_batched(double bytes, bool lead) const;
+  double matrix_transfer_time_batched(const CsrMatrix& m, bool lead) const;
+  DeviceAttempt transfer_attempt_batched(double bytes, FaultInjector* fi,
+                                         bool lead) const;
+  DeviceAttempt matrix_transfer_attempt_batched(const CsrMatrix& m,
+                                                FaultInjector* fi,
+                                                bool lead) const;
+
   PcieDir direction() const { return dir_; }
   const PcieCostModel& model() const { return cm_; }
 

@@ -1,6 +1,7 @@
 #include "runtime/service.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdio>
 #include <sstream>
@@ -136,6 +137,14 @@ std::string BatchReport::to_string() const {
   os << "  workspace pool: " << workspace.spa_reuses << "/"
      << workspace.spa_acquires << " SPA reuses, " << workspace.coo_reuses
      << "/" << workspace.coo_acquires << " tuple-buffer reuses\n";
+  if (wave_enabled) {
+    os << "  waves: " << wave.waves << " over " << wave.wave_requests
+       << " requests; " << wave.uploads << " uploads ("
+       << wave.coalesced_uploads << " coalesced, " << wave.deduped_uploads
+       << " deduped, " << wave.h2d_bytes << " bytes), "
+       << wave.batched_launches << " batched launches, " << wave.evictions
+       << " evictions\n";
+  }
   if (!flame.empty()) os << "  schedule (glyph = request id, '.' = idle):\n"
                          << flame;
   return os.str();
@@ -164,7 +173,11 @@ std::string BatchReport::to_json() const {
      << "},\"workspace\":{\"spa_acquires\":" << workspace.spa_acquires
      << ",\"spa_reuses\":" << workspace.spa_reuses
      << ",\"coo_acquires\":" << workspace.coo_acquires
-     << ",\"coo_reuses\":" << workspace.coo_reuses << "}}";
+     << ",\"coo_reuses\":" << workspace.coo_reuses << "}";
+  // Emitted only when the executor is on: a disabled service's JSON stays
+  // byte-identical to before the wave executor existed.
+  if (wave_enabled) os << ",\"wave\":" << wave.to_json();
+  os << "}";
   return os.str();
 }
 
@@ -257,6 +270,7 @@ std::size_t SpgemmService::submit(SpgemmRequest request) {
 void SpgemmService::invalidate_inputs() {
   signatures_.clear();
   resident_.clear();
+  wave_resident_.clear();
 }
 
 const MatrixSignature& SpgemmService::signature_of(const CsrMatrix* m) {
@@ -292,7 +306,218 @@ BatchResult SpgemmService::drain() {
   double makespan = 0;
   double seq_estimate = 0;
 
+  // ---- Wave formation (Config::wave, runtime/wave.hpp): group the queue,
+  // in submit order, into waves of requests that share operands by content
+  // signature. Disabled, none of the wave code below runs and the drain is
+  // the legacy per-request loop, byte for byte.
+  const bool wave_on = config_.wave.enabled;
+  std::vector<WaveBounds> wave_bounds;
+  if (wave_on && !queue_.empty()) {
+    std::unordered_map<MatrixSignature, std::uint32_t, MatrixSignatureHash>
+        dense_ids;
+    std::vector<std::array<std::uint32_t, 2>> operand_ids;
+    operand_ids.reserve(queue_.size());
+    for (const SpgemmRequest& wr : queue_) {
+      const auto id_of = [&](const CsrMatrix* m) {
+        return dense_ids
+            .emplace(signature_of(m),
+                     static_cast<std::uint32_t>(dense_ids.size()))
+            .first->second;
+      };
+      const CsrMatrix* pb = wr.b != nullptr ? wr.b : wr.a;
+      const std::uint32_t ia = id_of(wr.a);
+      operand_ids.push_back({ia, pb != wr.a ? id_of(pb) : ia});
+    }
+    wave_bounds = form_waves(operand_ids, config_.wave.max_requests,
+                             config_.wave.max_operands);
+  }
+  WaveStats wstats;
+
+  // Per-wave operand table: distinct operands in first-use order, each with
+  // its refcount over the wave's requests, its upload outcome, and the
+  // spans/faults attributed to its first user.
+  struct WaveOperand {
+    const CsrMatrix* m = nullptr;
+    MatrixSignature sig;
+    std::size_t first_req = 0;  // queue index of the first user
+    int refs = 0;               // users among the wave's requests
+    double ready_s = 0;         // device copy usable from here on
+    double attributed_s = 0;    // upload time charged to first_req
+    double failed_at = 0;
+    bool failed = false;  // retries exhausted: every user degrades
+    std::vector<StageSpan> spans;
+    FaultRecoveryStats faults;
+  };
+  std::vector<WaveOperand> wave_ops;
+  std::unordered_map<MatrixSignature, std::size_t, MatrixSignatureHash>
+      wave_op_index;
+  bool wave_gpu_lead_done = false;  // first healthy launch pays the overhead
+  std::size_t wave_idx = 0;
+
+  // Wave preamble: collect the wave's distinct operands, refcount their
+  // users, and upload each one exactly once. The happy path (every first
+  // attempt healthy) coalesces the uploads into one contiguous H2D block
+  // placed from ResourceTimeline::block_start — the lead transfer pays the
+  // link latency, followers stream back-to-back behind it (device/pcie.hpp
+  // batched costing). Under faults the pending operands fall back to
+  // per-operand retry loops mirroring the legacy upload path. Spans and
+  // fault counters are attributed to each operand's first user.
+  const auto begin_wave = [&](const WaveBounds& wb) {
+    wave_ops.clear();
+    wave_op_index.clear();
+    wave_gpu_lead_done = false;
+    wstats.waves++;
+    wstats.wave_requests += static_cast<std::int64_t>(wb.end - wb.begin);
+    if (tr != nullptr) {
+      tr->instant(TraceCategory::kWave, "wave-begin",
+                  std::max({cpu.now(), gpu.now(), h2d.now(), d2h.now()}));
+    }
+    for (std::size_t r = wb.begin; r < wb.end; ++r) {
+      const SpgemmRequest& rq = queue_[r];
+      if (rq.options.matrices_already_on_gpu) continue;
+      const CsrMatrix* prb = rq.b != nullptr ? rq.b : rq.a;
+      const CsrMatrix* operands[2] = {rq.a, prb != rq.a ? prb : nullptr};
+      for (const CsrMatrix* m : operands) {
+        if (m == nullptr) continue;
+        const MatrixSignature& sig = signature_of(m);
+        const auto [it, fresh] = wave_op_index.emplace(sig, wave_ops.size());
+        if (fresh) {
+          WaveOperand op;
+          op.m = m;
+          op.sig = sig;
+          op.first_req = r;
+          wave_ops.push_back(std::move(op));
+        }
+        wave_ops[it->second].refs++;
+      }
+    }
+    std::vector<std::size_t> pending;
+    for (std::size_t k = 0; k < wave_ops.size(); ++k) {
+      const auto rit = wave_resident_.find(wave_ops[k].sig);
+      if (rit != wave_resident_.end()) {
+        rit->second.refs += wave_ops[k].refs;  // already on device: reuse
+      } else {
+        pending.push_back(k);
+      }
+    }
+    if (pending.empty()) return;
+    const auto complete_upload = [&](WaveOperand& op, double ready) {
+      op.ready_s = ready;
+      wave_resident_.emplace(op.sig,
+                             WaveResident{matrix_checksum(*op.m), op.refs});
+      wstats.uploads++;
+      wstats.deduped_uploads += op.refs - 1;
+      wstats.h2d_bytes += static_cast<std::int64_t>(op.m->byte_size());
+    };
+    std::vector<DeviceAttempt> first;
+    first.reserve(pending.size());
+    bool any_fault = false;
+    for (std::size_t k = 0; k < pending.size(); ++k) {
+      first.push_back(platform_.link().h2d().matrix_transfer_attempt_batched(
+          *wave_ops[pending[k]].m, fi, /*lead=*/k == 0));
+      any_fault |= !first.back().ok;
+    }
+    if (!any_fault) {
+      double total = 0;
+      for (const DeviceAttempt& at : first) total += at.elapsed_s;
+      double cursor = h2d.block_start(0.0, total);
+      for (std::size_t k = 0; k < pending.size(); ++k) {
+        WaveOperand& op = wave_ops[pending[k]];
+        if (tr != nullptr) tr->begin_request(first_id + op.first_req);
+        const StageSpan s =
+            h2d.reserve("wave-h2d-input", cursor, first[k].elapsed_s);
+        cursor = s.end_s;
+        op.spans.push_back(s);
+        op.attributed_s = first[k].elapsed_s;
+        complete_upload(op, s.end_s);
+        if (k > 0) wstats.coalesced_uploads++;
+      }
+      if (tr != nullptr) {
+        tr->end_request();
+        tr->instant_on(TraceCategory::kWave, "wave-h2d-coalesced",
+                       Resource::kH2D, cursor);
+      }
+      return;
+    }
+    // Fault fallback: sequential per-operand retry loops. Every attempt
+    // re-arbitrates the link, so every retry pays lead (full-latency)
+    // costing, exactly like the legacy path.
+    double chain = 0;
+    for (std::size_t k = 0; k < pending.size(); ++k) {
+      WaveOperand& op = wave_ops[pending[k]];
+      if (tr != nullptr) tr->begin_request(first_id + op.first_req);
+      double prev_backoff_s = rp.backoff_base_s;
+      int failures = 0;
+      DeviceAttempt at = first[k];
+      for (;;) {
+        const char* name = at.ok        ? "wave-h2d-input"
+                           : at.corrupt ? "wave-h2d-input-corrupt"
+                                        : "wave-h2d-input-fault";
+        const StageSpan s = h2d.reserve(name, chain, at.elapsed_s);
+        op.spans.push_back(s);
+        op.attributed_s += at.elapsed_s;
+        chain = s.end_s;
+        if (at.ok) {
+          complete_upload(op, s.end_s);
+          break;
+        }
+        op.faults.h2d_faults++;
+        if (tr != nullptr) {
+          tr->instant_on(TraceCategory::kFault,
+                         at.corrupt ? "h2d-corrupt" : "h2d-fault",
+                         Resource::kH2D, s.end_s, at.op);
+        }
+        if (at.corrupt) {
+          op.faults.corruptions++;
+          // Never reuse a damaged device copy: any resident entry under
+          // this signature is evicted mid-wave before the re-upload.
+          if (wave_resident_.erase(op.sig) > 0) {
+            wstats.evictions++;
+            if (tr != nullptr) {
+              tr->instant_on(TraceCategory::kWave, "wave-evict-corrupt",
+                             Resource::kH2D, s.end_s, at.op);
+            }
+          }
+        }
+        ++failures;
+        if (failures >= rp.max_attempts) {
+          op.failed = true;
+          op.failed_at = s.end_s;
+          break;
+        }
+        op.faults.retries++;
+        if (tr != nullptr) {
+          tr->instant_on(TraceCategory::kRetry, "retry-h2d", Resource::kH2D,
+                         s.end_s, at.op);
+        }
+        double wait;
+        if (!rp.decorrelated_jitter) {
+          wait =
+              rp.backoff_base_s * std::pow(rp.backoff_multiplier, failures - 1);
+        } else {
+          const double u = jitter_rng_.uniform();
+          wait = rp.backoff_base_s +
+                 u * (3.0 * prev_backoff_s - rp.backoff_base_s);
+          if (rp.backoff_cap_s > 0 && wait > rp.backoff_cap_s) {
+            wait = rp.backoff_cap_s;
+          }
+          prev_backoff_s = wait;
+        }
+        op.faults.backoff_s += wait;
+        chain = s.end_s + wait;
+        at = platform_.link().h2d().matrix_transfer_attempt_batched(
+            *op.m, fi, /*lead=*/true);
+      }
+    }
+    if (tr != nullptr) tr->end_request();
+  };
+
   for (std::size_t i = 0; i < queue_.size(); ++i) {
+    if (wave_on && wave_idx < wave_bounds.size() &&
+        i == wave_bounds[wave_idx].begin) {
+      begin_wave(wave_bounds[wave_idx]);
+      ++wave_idx;
+    }
     const SpgemmRequest& req = queue_[i];
     const CsrMatrix& a = *req.a;
     const CsrMatrix& b = req.b != nullptr ? *req.b : a;
@@ -437,9 +662,39 @@ BatchResult SpgemmService::drain() {
     // request to the CPU-only path — no GPU, no PCIe.
     const bool on_gpu = req.options.matrices_already_on_gpu;
     double tx_in_total = 0;
+    // When this request's operands are all usable on the device (uploads
+    // done, or nothing to ship). Gates the GPU-side stages below.
+    double tx_gate = rr.submit_s;
     StageSpan tx_in_last{"h2d-input", Resource::kH2D, rr.submit_s,
                          rr.submit_s};
-    if (!cancelled && !on_gpu) {
+    if (wave_on) {
+      // Wave mode: the uploads already ran in the wave preamble. Collect
+      // this request's readiness gate, attribute each operand's upload
+      // spans/faults to its first user, and degrade every user of an
+      // operand whose upload retries were exhausted.
+      if (!on_gpu) {
+        const CsrMatrix* operands[2] = {req.a, pb != req.a ? pb : nullptr};
+        for (const CsrMatrix* m : operands) {
+          if (m == nullptr) continue;
+          WaveOperand& op = wave_ops[wave_op_index.at(signature_of(m))];
+          tx_gate = std::max(tx_gate, op.ready_s);
+          if (op.first_req == i) {
+            for (const StageSpan& s : op.spans) rr.spans.push_back(s);
+            rr.faults.accumulate(op.faults);
+            tx_in_total += op.attributed_s;
+          }
+          if (op.failed && !degraded) {
+            degraded = true;
+            degrade_at = std::max(degrade_at, op.failed_at);
+            if (tr != nullptr) {
+              tr->instant(TraceCategory::kDegrade, "degrade-to-cpu",
+                          op.failed_at);
+            }
+          }
+        }
+        if (!cancelled && past_deadline(tx_gate)) cancelled = true;
+      }
+    } else if (!cancelled && !on_gpu) {
       const CsrMatrix* operands[2] = {req.a, pb != req.a ? pb : nullptr};
       for (const CsrMatrix* m : operands) {
         if (m == nullptr || resident_.count(m) != 0) continue;
@@ -497,6 +752,7 @@ BatchResult SpgemmService::drain() {
         if (cancelled || degraded) break;
       }
     }
+    if (!wave_on) tx_gate = tx_in_last.end_s;
     rr.inputs_resident = tx_in_total == 0;
     rep.transfer_in_s = tx_in_total;
 
@@ -526,16 +782,26 @@ BatchResult SpgemmService::drain() {
       gpu2 = StageSpan{"phase2-gpu", Resource::kGpu, analyze.end_s,
                        analyze.end_s};
       if (!cancelled && !degraded && p2.gpu_s > 0) {
-        double earliest = std::max(analyze.end_s, tx_in_last.end_s);
+        double earliest = std::max(analyze.end_s, tx_gate);
         for (;;) {
+          // In a wave, the first healthy Phase II launch is the lead and
+          // pays the kernel-launch overhead; same-wave followers skip it
+          // (batched costing). rep.phase2_* stay the model times from
+          // run_phase2, so tuner feedback is identical wave-on and -off.
           const DeviceAttempt at =
-              platform_.gpu().kernel_attempt(p2.ll_stats, fi);
+              wave_on ? platform_.gpu().kernel_attempt_batched(
+                            p2.ll_stats, fi, /*lead=*/!wave_gpu_lead_done)
+                      : platform_.gpu().kernel_attempt(p2.ll_stats, fi);
           const StageSpan s = gpu.reserve(
               at.ok ? "phase2-gpu" : "phase2-gpu-abort", earliest,
               at.elapsed_s);
           rr.spans.push_back(s);
           if (at.ok) {
             gpu2 = s;
+            if (wave_on && at.elapsed_s > 0) {
+              if (wave_gpu_lead_done) wstats.batched_launches++;
+              wave_gpu_lead_done = true;
+            }
             if (past_deadline(s.end_s)) cancelled = true;
             break;
           }
@@ -578,7 +844,7 @@ BatchResult SpgemmService::drain() {
           std::max({cpu.now(), analyze.end_s, cpu2.end_s});
       const double gpu_q_start =
           degraded ? kGpuNeverJoins
-                   : std::max({gpu.now(), analyze.end_s, tx_in_last.end_s,
+                   : std::max({gpu.now(), analyze.end_s, tx_gate,
                                gpu2.end_s});
       q = run_phase3(a, b, plan, req.options.queue, cpu_q_start, gpu_q_start,
                      platform_, pool_, ws);
@@ -879,12 +1145,37 @@ BatchResult SpgemmService::drain() {
                            rr.finish_s);
     }
 
+    // ---- Wave residency refcounts: this request no longer needs its
+    // operands. With keep_inputs_resident == false the last user's finish
+    // evicts the device copy — mid-wave, when an operand's users all sit
+    // early in the wave.
+    if (wave_on && !on_gpu) {
+      const CsrMatrix* operands[2] = {req.a, pb != req.a ? pb : nullptr};
+      for (const CsrMatrix* m : operands) {
+        if (m == nullptr) continue;
+        const auto rit = wave_resident_.find(signature_of(m));
+        if (rit == wave_resident_.end()) continue;
+        if (--rit->second.refs <= 0 && !config_.keep_inputs_resident) {
+          wave_resident_.erase(rit);
+          wstats.evictions++;
+          if (tr != nullptr) {
+            tr->instant(TraceCategory::kWave, "wave-evict", rr.finish_s);
+          }
+        }
+      }
+    }
+
     RunResult res;
     if (have_output) res.c = std::move(merged.c);
     res.report = rep;
     out.results.push_back(std::move(res));
     out.requests.push_back(std::move(rr));
     if (tr != nullptr) tr->end_request();
+    if (wave_on && tr != nullptr && wave_idx > 0 &&
+        i + 1 == wave_bounds[wave_idx - 1].end) {
+      tr->instant(TraceCategory::kWave, "wave-end",
+                  std::max({cpu.now(), gpu.now(), h2d.now(), d2h.now()}));
+    }
   }
   queue_.clear();
 
@@ -902,6 +1193,18 @@ BatchResult SpgemmService::drain() {
   batch.plan_cache = plan_cache_.stats();
   batch.workspace = workspace_.stats();
   batch.backoff_jitter = rp.decorrelated_jitter;
+  batch.wave_enabled = wave_on;
+  if (wave_on) {
+    batch.wave = wstats;
+    metrics_.counter("wave.waves").inc(wstats.waves);
+    metrics_.counter("wave.requests").inc(wstats.wave_requests);
+    metrics_.counter("wave.uploads").inc(wstats.uploads);
+    metrics_.counter("wave.deduped_uploads").inc(wstats.deduped_uploads);
+    metrics_.counter("wave.coalesced_uploads").inc(wstats.coalesced_uploads);
+    metrics_.counter("wave.batched_launches").inc(wstats.batched_launches);
+    metrics_.counter("wave.evictions").inc(wstats.evictions);
+    metrics_.counter("wave.h2d_bytes").inc(wstats.h2d_bytes);
+  }
   const std::int64_t shed_total = metrics_.counter("service.shed").value();
   batch.shed = static_cast<std::size_t>(shed_total - shed_at_last_drain_);
   shed_at_last_drain_ = shed_total;

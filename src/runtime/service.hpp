@@ -49,6 +49,7 @@
 #include "fault/fault.hpp"
 #include "runtime/plan_cache.hpp"
 #include "runtime/timeline.hpp"
+#include "runtime/wave.hpp"
 #include "sparse/csr.hpp"
 #include "spgemm/workspace.hpp"
 #include "trace/metrics.hpp"
@@ -142,6 +143,12 @@ struct BatchReport {
   double d2h_busy_s = 0;
   PlanCache::Stats plan_cache;
   WorkspacePool::Stats workspace;
+  // Wave-executor accounting (runtime/wave.hpp). wave_enabled echoes
+  // Config::wave.enabled; when false the stats stay zero and to_string /
+  // to_json omit them entirely, keeping disabled reports byte-identical to
+  // before the executor existed.
+  bool wave_enabled = false;
+  WaveStats wave;
   bool backoff_jitter = false;  // RecoveryPolicy::decorrelated_jitter echo
   std::string flame;  // per-resource text flame view of the whole batch
 
@@ -185,6 +192,14 @@ class SpgemmService {
     RecoveryPolicy recovery;
     std::size_t admission_capacity = 0;  // max pending; 0 = unbounded
     double default_deadline_s = 0;       // per-request default; 0 = none
+    // Batched wave executor (runtime/wave.hpp, docs/runtime.md): drain()
+    // groups requests sharing operands (by content signature) into waves,
+    // uploads each distinct operand once per wave under a refcount,
+    // coalesces the wave's H2D transfers into one block reservation, and
+    // batches same-wave Phase II GPU launches. Output bits are unchanged;
+    // disabled (the default), the service behaves — reports included —
+    // byte-identically to before the executor existed.
+    WaveConfig wave;
     // Online autotuning (src/tune/, docs/tuning.md): measured-feedback
     // refinement of cached thresholds plus cost-model calibration. Off by
     // default — a disabled tuner leaves every request, report and metric
@@ -279,6 +294,18 @@ class SpgemmService {
   std::unordered_map<const CsrMatrix*, MatrixSignature> signatures_;
   // Device residency: operand → checksum of the uploaded copy.
   std::unordered_map<const CsrMatrix*, std::uint64_t> resident_;
+  // Wave-mode residency, keyed by content signature so pointer-distinct but
+  // bit-identical operands share one device copy. `refs` counts the
+  // not-yet-finished users in the current drain; with
+  // keep_inputs_resident == false an entry is evicted when refs reaches
+  // zero. Kept separate from the pointer-keyed map above so enabling the
+  // wave flag cannot change the legacy path's residency decisions.
+  struct WaveResident {
+    std::uint64_t checksum = 0;
+    int refs = 0;
+  };
+  std::unordered_map<MatrixSignature, WaveResident, MatrixSignatureHash>
+      wave_resident_;
 };
 
 }  // namespace hh

@@ -86,6 +86,54 @@ class ResourceTimeline {
     return record(stage, earliest, start, now_);
   }
 
+  /// The earliest instant >= `earliest` at which `total` contiguous seconds
+  /// fit on this resource: the first idle window that admits the whole
+  /// block, else the frontier. Sub-reserving segments back-to-back from the
+  /// returned instant (each with `earliest` = the previous segment's end)
+  /// keeps them inside that window with no idle time between them — no
+  /// earlier gap can claim a segment, because every earlier gap closes at
+  /// or before the block's start.
+  double block_start(double earliest, double total) const {
+    if (total <= 0) return available_at(earliest);
+    for (const Gap& g : gaps_) {
+      const double start = std::max(g.start, earliest);
+      if (start + total <= g.end) return start;
+    }
+    return std::max(now_, earliest);
+  }
+
+  /// One named segment of a wave-scoped block reservation.
+  struct BlockSegment {
+    const char* stage;
+    double duration;
+  };
+
+  /// Wave-scoped reservation: place `segments` contiguously, in order, as
+  /// one block starting no earlier than `earliest` — the insertion
+  /// scheduler treats the block as a unit (a wave's coalesced H2D uploads
+  /// stream back-to-back on one PCIe arbitration). Non-positive segments
+  /// occupy nothing and pin a zero-length span at the running cursor.
+  std::vector<StageSpan> reserve_block(const std::vector<BlockSegment>& segments,
+                                       double earliest) {
+    double total = 0;
+    for (const BlockSegment& s : segments) {
+      if (s.duration > 0) total += s.duration;
+    }
+    std::vector<StageSpan> spans;
+    spans.reserve(segments.size());
+    double cursor = block_start(earliest, total);
+    for (const BlockSegment& s : segments) {
+      if (s.duration <= 0) {
+        spans.push_back({s.stage, resource_, cursor, cursor});
+        continue;
+      }
+      const StageSpan placed = reserve(s.stage, cursor, s.duration);
+      cursor = placed.end_s;
+      spans.push_back(placed);
+    }
+    return spans;
+  }
+
  private:
   struct Gap {
     double start;

@@ -44,6 +44,9 @@ struct ShardReport {
   bool snapshot_rejected = false;   // checksum verification failed
   FaultRecoveryStats faults;        // device-level faults seen by this shard
   PlanCache::Stats plan_cache;      // lifetime stats of the current service
+  WaveStats wave;                   // per-shard wave accounting; reported
+                                    // only when the group's wave executor
+                                    // is enabled
 };
 
 /// Group-level accounting across one ShardedSpgemmService::drain().
@@ -64,6 +67,12 @@ struct GroupBatchReport {
   double p95_latency_s = 0;
   double p99_latency_s = 0;
   FaultRecoveryStats faults;  // aggregated over all shards
+  // Wave accounting aggregated over all shards (runtime/wave.hpp): each
+  // shard runs its own waves over the requests routed to it. Omitted from
+  // to_string/to_json unless wave_enabled, so a wave-disabled group renders
+  // byte-identically to before the executor existed.
+  bool wave_enabled = false;
+  WaveStats wave;
   bool backoff_jitter = false;
   std::vector<ShardReport> shard_reports;  // index == shard
 

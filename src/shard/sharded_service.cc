@@ -391,6 +391,7 @@ GroupResult ShardedSpgemmService::drain() {
         --remaining;
       }
       sh.report.faults.accumulate(br.batch.faults);
+      sh.report.wave.accumulate(br.batch.wave);
 
       // Breaker transitions on this round's evidence.
       if (sh.breaker == BreakerState::kHalfOpen) {
@@ -442,6 +443,7 @@ GroupResult ShardedSpgemmService::drain() {
   g.p95_latency_s = percentile(latencies, 0.95);
   g.p99_latency_s = percentile(latencies, 0.99);
   g.backoff_jitter = config_.shard.recovery.decorrelated_jitter;
+  g.wave_enabled = config_.shard.wave.enabled;
   g.shard_reports.reserve(shard_count);
   for (std::size_t s = 0; s < shard_count; ++s) {
     Shard& sh = shards_[s];
@@ -449,6 +451,7 @@ GroupResult ShardedSpgemmService::drain() {
     if (sh.alive) sh.report.plan_cache = sh.service->plan_cache().stats();
     g.kills += sh.report.kills;
     g.restarts += sh.report.restarts;
+    g.wave.accumulate(sh.report.wave);
     g.shard_reports.push_back(sh.report);
   }
   metrics_.gauge("shard.rounds").set(static_cast<double>(round_));

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdint>
 
 #include "spgemm/symbolic.hpp"
 #include "util/check.hpp"
@@ -13,8 +14,7 @@ namespace {
 class RowHashTable {
  public:
   void reset(offset_t upper_bound_nnz) {
-    std::size_t cap = 16;
-    while (cap < static_cast<std::size_t>(upper_bound_nnz) * 2) cap <<= 1;
+    const std::size_t cap = hash_table_capacity(upper_bound_nnz);
     if (cap > keys_.size()) {
       keys_.assign(cap, -1);
       vals_.resize(cap);
@@ -103,6 +103,18 @@ CsrMatrix assemble(const CsrMatrix& a, const CsrMatrix& b,
 }
 
 }  // namespace
+
+std::size_t hash_table_capacity(offset_t upper_bound_nnz) {
+  constexpr std::size_t kFloor = 16;
+  if (upper_bound_nnz <= static_cast<offset_t>(kFloor / 2)) return kFloor;
+  const auto ub = static_cast<std::uint64_t>(upper_bound_nnz);
+  // ub * 2 must stay representable for bit_ceil; past that the capacity
+  // saturates at the largest power of two (allocation will fail loudly with
+  // bad_alloc long before, which beats an unbounded probe loop).
+  constexpr std::uint64_t kMax = std::uint64_t{1} << 63;
+  if (ub >= kMax / 2) return static_cast<std::size_t>(kMax);
+  return static_cast<std::size_t>(std::bit_ceil(ub * 2));
+}
 
 CsrMatrix hash_spgemm(const CsrMatrix& a, const CsrMatrix& b) {
   HH_CHECK_MSG(a.cols == b.rows, "incompatible shapes for product");

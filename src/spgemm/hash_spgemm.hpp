@@ -5,10 +5,21 @@
 // ablation bench.
 #pragma once
 
+#include <cstddef>
+
 #include "sparse/csr.hpp"
 #include "util/thread_pool.hpp"
 
 namespace hh {
+
+/// Open-addressing capacity for a row whose symbolic upper bound is
+/// `upper_bound_nnz` distinct keys: the smallest power of two keeping the
+/// load factor <= 1/2, never below 16, and saturating at 2^63 instead of
+/// wrapping. (The old round-up loop `while (cap < ub * 2) cap <<= 1`
+/// overflowed `cap` to zero for bounds above 2^62 and spun forever — and a
+/// table sized from a wrapped capacity makes add()'s linear probe livelock
+/// once the table fills.) Non-positive bounds (empty rows) get the floor.
+std::size_t hash_table_capacity(offset_t upper_bound_nnz);
 
 CsrMatrix hash_spgemm(const CsrMatrix& a, const CsrMatrix& b);
 CsrMatrix hash_spgemm_parallel(const CsrMatrix& a, const CsrMatrix& b,

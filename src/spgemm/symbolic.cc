@@ -27,9 +27,11 @@ std::vector<offset_t> row_flops_masked(const CsrMatrix& a, const CsrMatrix& b,
   return flops;
 }
 
-offset_t total_flops(const CsrMatrix& a, const CsrMatrix& b) {
-  offset_t total = 0;
-  for (const offset_t f : row_flops(a, b)) total += f;
+std::int64_t total_flops(const CsrMatrix& a, const CsrMatrix& b) {
+  std::int64_t total = 0;
+  for (const offset_t f : row_flops(a, b)) {
+    total += static_cast<std::int64_t>(f);
+  }
   return total;
 }
 

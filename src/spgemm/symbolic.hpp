@@ -6,6 +6,7 @@
 // upper bounds are what schedulers can actually use a-priori.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -22,8 +23,11 @@ std::vector<offset_t> row_flops_masked(const CsrMatrix& a, const CsrMatrix& b,
                                        std::span<const std::uint8_t> b_mask,
                                        bool mask_value);
 
-/// Total flops of the full product.
-offset_t total_flops(const CsrMatrix& a, const CsrMatrix& b);
+/// Total flops of the full product. Accumulated in an explicit 64-bit type:
+/// scale-free products blow past 2^31 intermediate products long before
+/// their operands are large, so the total must not inherit a (possibly
+/// narrower) offset_t width.
+std::int64_t total_flops(const CsrMatrix& a, const CsrMatrix& b);
 
 /// Exact nnz per row of C (runs a structure-only SPA pass; costs ~ flops).
 std::vector<offset_t> exact_row_nnz(const CsrMatrix& a, const CsrMatrix& b);

@@ -14,6 +14,7 @@ const char* to_string(TraceCategory c) {
     case TraceCategory::kTune: return "tune";
     case TraceCategory::kShard: return "shard";
     case TraceCategory::kSlo: return "slo";
+    case TraceCategory::kWave: return "wave";
   }
   return "?";
 }

@@ -49,6 +49,8 @@ enum class TraceCategory {
   kShard = 8,      // shard group event (kill / restart / rehydrate /
                    // failover / breaker transition)
   kSlo = 9,        // SLO burn-rate threshold crossing (obs/slo.hpp)
+  kWave = 10,      // wave executor event (begin / end / coalesced upload /
+                   // refcount eviction — runtime/wave.hpp)
 };
 
 const char* to_string(TraceCategory c);

@@ -626,5 +626,91 @@ TEST_F(FaultRecoveryTest, FaultFreePlanIsUnperturbedByTheFaultMachinery) {
             0u);
 }
 
+// ------------------------------------------------------- waves under fault
+
+TEST_F(FaultRecoveryTest, WaveFaultedBatchStaysBitIdenticalAndEvictsMidWave) {
+  // Waves + injected PCIe/GPU faults + refcounted residency: every request
+  // still lands bit-identical, and refcount-zero evictions fire while the
+  // wave machinery is live (keep_inputs_resident == false).
+  SpgemmService::Config cfg;
+  cfg.wave.enabled = true;
+  cfg.fault_plan.h2d.rate = 0.35;
+  cfg.fault_plan.gpu_kernel.rate = 0.25;
+  cfg.keep_inputs_resident = false;
+  SpgemmService service(plat_, pool_, cfg);
+
+  constexpr std::size_t kRequests = 24;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    service.submit({&mat(i), nullptr, {}, "w" + std::to_string(i)});
+  }
+  const BatchResult batch = service.drain();
+  ASSERT_EQ(batch.results.size(), kRequests);
+  EXPECT_EQ(batch.batch.completed, kRequests);
+
+  const CsrMatrix ref_wiki = serial_reference(wiki_);
+  const CsrMatrix ref_enron = serial_reference(enron_);
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    EXPECT_TRUE(batch.requests[i].status.ok()) << batch.requests[i].label;
+    expect_bit_identical(i % 2 == 0 ? ref_wiki : ref_enron,
+                         batch.results[i].c, batch.requests[i].label);
+  }
+  // The rates above make a fault-free run astronomically unlikely.
+  EXPECT_GT(batch.batch.faults.total_faults(), 0);
+  // Two operands per wave, deduped and then dropped at refcount zero.
+  EXPECT_TRUE(batch.batch.wave_enabled);
+  EXPECT_GE(batch.batch.wave.deduped_uploads, 1);
+  EXPECT_GE(batch.batch.wave.evictions, 2);
+  EXPECT_EQ(service.workspace_pool().stats().spa_live, 0);
+}
+
+TEST_F(FaultRecoveryTest, WaveCorruptUploadRetriesWithoutPoisoningDedup) {
+  // The wave's first (lead) upload attempt corrupts: the wave falls back to
+  // per-operand retries, the re-send succeeds, and every deduped user of
+  // the operand reads the *clean* copy.
+  SpgemmService::Config cfg;
+  cfg.wave.enabled = true;
+  cfg.fault_plan.h2d.trigger_ops = {0};
+  cfg.fault_plan.transfer_corruption_fraction = 1.0;
+  SpgemmService service(plat_, pool_, cfg);
+  for (int i = 0; i < 3; ++i) {
+    service.submit({&wiki_, nullptr, {}, "c" + std::to_string(i)});
+  }
+  const BatchResult batch = service.drain();
+  ASSERT_EQ(batch.results.size(), 3u);
+  // The corruption and retry are attributed to the operand's first user.
+  EXPECT_EQ(batch.requests[0].faults.corruptions, 1);
+  EXPECT_EQ(batch.requests[0].faults.retries, 1);
+  // One (retried) upload serves all three requests.
+  EXPECT_EQ(batch.batch.wave.uploads, 1);
+  EXPECT_EQ(batch.batch.wave.deduped_uploads, 2);
+  const CsrMatrix ref = serial_reference(wiki_);
+  for (int i = 0; i < 3; ++i) {
+    expect_bit_identical(ref, batch.results[i].c,
+                         batch.requests[i].label);
+  }
+}
+
+TEST_F(FaultRecoveryTest, WaveUploadExhaustionDegradesEveryUser) {
+  // A dead link exhausts the shared upload's retries: every request that
+  // deduped onto that operand degrades to CPU — none is lost, and the
+  // CPU-only outputs stay bit-identical.
+  SpgemmService::Config cfg;
+  cfg.wave.enabled = true;
+  cfg.fault_plan.h2d.rate = 1.0;
+  cfg.fault_plan.transfer_corruption_fraction = 0;
+  SpgemmService service(plat_, pool_, cfg);
+  service.submit({&enron_, nullptr, {}, "u0"});
+  service.submit({&enron_, nullptr, {}, "u1"});
+  const BatchResult batch = service.drain();
+  ASSERT_EQ(batch.results.size(), 2u);
+  EXPECT_EQ(batch.batch.degraded, 2u);
+  const CsrMatrix ref = serial_reference(enron_);
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_TRUE(batch.requests[i].status.ok());
+    EXPECT_TRUE(batch.requests[i].degraded_to_cpu);
+    expect_bit_identical(ref, batch.results[i].c, batch.requests[i].label);
+  }
+}
+
 }  // namespace
 }  // namespace hh

@@ -145,6 +145,41 @@ TEST(WorkloadRecorder, RingRotationKeepsChainVerifiable) {
   EXPECT_EQ(back.records.back().id, 9u);
 }
 
+TEST(WorkloadRecorder, FirstRotationLandsExactlyOnTheHeaderSeed) {
+  // Regression guard for the rotation re-seed boundary: the very first
+  // rotation drops the record chained directly from the header's seed, so
+  // the new seed must be that record's *checksum* (not the old seed, and
+  // not the second record's checksum — either off-by-one would break the
+  // retained suffix).
+  WorkloadRecorder::Config cfg;
+  cfg.max_records = 3;
+  WorkloadRecorder rec(cfg);
+  for (std::size_t i = 0; i < 4; ++i) rec.append(sample_record(i));
+  EXPECT_EQ(rec.rotations(), 1u);
+  EXPECT_EQ(rec.records().front().id, 1u);
+  const WorkloadLog back = parse_workload_log(rec.log().to_jsonl());
+  ASSERT_EQ(back.records.size(), 3u);
+  EXPECT_EQ(back.records.front().id, 1u);
+}
+
+TEST(WorkloadRecorder, SingleSlotRingRotatesOnEveryAppend) {
+  // max_records == 1 is the extreme boundary: every append past the first
+  // is a rotation, and the retained single record must always verify
+  // against the freshly re-seeded chain.
+  WorkloadRecorder::Config cfg;
+  cfg.max_records = 1;
+  WorkloadRecorder rec(cfg);
+  for (std::size_t i = 0; i < 7; ++i) {
+    rec.append(sample_record(i));
+    ASSERT_EQ(rec.size(), 1u);
+    const WorkloadLog back = parse_workload_log(rec.log().to_jsonl());
+    ASSERT_EQ(back.records.size(), 1u);
+    EXPECT_EQ(back.records.front().id, i);
+  }
+  EXPECT_EQ(rec.total_appended(), 7u);
+  EXPECT_EQ(rec.rotations(), 6u);  // total appended minus the one retained
+}
+
 TEST(WorkloadRecorder, ClockAccumulatesAcrossDrains) {
   WorkloadRecorder rec;
   EXPECT_EQ(rec.drain(), 0u);

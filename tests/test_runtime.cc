@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+
 #include "core/hh_cpu.hpp"
 #include "gen/datasets.hpp"
 #include "runtime/timeline.hpp"
+#include "runtime/wave.hpp"
 #include "test_util.hpp"
 #include "util/status.hpp"
 
@@ -77,6 +81,97 @@ TEST(ResourceTimeline, ZeroDurationOccupiesNothing) {
   const StageSpan g = t.reserve("g", 2.0, 0.0);
   EXPECT_DOUBLE_EQ(g.start_s, 2.0);
   EXPECT_DOUBLE_EQ(t.now(), 4.0);
+}
+
+TEST(ResourceTimeline, BlockStartFindsFirstWindowThatFitsWholeBlock) {
+  ResourceTimeline t;
+  t.reserve("late", 10.0, 1.0);  // idle window [0, 10)
+  EXPECT_DOUBLE_EQ(t.block_start(0.0, 4.0), 0.0);
+  EXPECT_DOUBLE_EQ(t.block_start(3.0, 4.0), 3.0);   // fits later in the gap
+  EXPECT_DOUBLE_EQ(t.block_start(0.0, 12.0), 11.0); // too big: frontier
+  EXPECT_DOUBLE_EQ(t.block_start(0.0, 0.0), 0.0);   // degenerate block
+}
+
+TEST(ResourceTimeline, ReserveBlockIsContiguousAndSkipsShortGaps) {
+  ResourceTimeline t;
+  t.reserve("early", 1.0, 1.0);  // idle window [0, 1) — too short for the
+  t.reserve("late", 5.0, 1.0);   // block; window [2, 5) fits it whole
+  const std::vector<StageSpan> spans = t.reserve_block(
+      {{"seg0", 1.0}, {"seg1", 0.0}, {"seg2", 1.5}}, 0.0);
+  ASSERT_EQ(spans.size(), 3u);
+  // The whole block lands in [2, 5): no segment leaks into the [0, 1) gap.
+  EXPECT_DOUBLE_EQ(spans[0].start_s, 2.0);
+  EXPECT_DOUBLE_EQ(spans[0].end_s, 3.0);
+  // Zero-duration segments pin at the running cursor, occupying nothing.
+  EXPECT_DOUBLE_EQ(spans[1].start_s, 3.0);
+  EXPECT_DOUBLE_EQ(spans[1].end_s, 3.0);
+  // Segments are back-to-back: no idle time inside the block.
+  EXPECT_DOUBLE_EQ(spans[2].start_s, 3.0);
+  EXPECT_DOUBLE_EQ(spans[2].end_s, 4.5);
+  // The short head gap survives for later independent work.
+  EXPECT_DOUBLE_EQ(t.reserve("backfill", 0.0, 0.5).start_s, 0.0);
+}
+
+// ------------------------------------------------------------------- waves
+
+using OperandIds = std::vector<std::array<std::uint32_t, 2>>;
+
+TEST(FormWaves, PartitionsContiguouslyAndGroupsSharedOperands) {
+  // Requests 0-2 share operand 0 and fit the 3-operand cap together;
+  // request 3's two fresh operands would blow the cap, starting wave 2.
+  const OperandIds ids = {{0, 0}, {0, 1}, {1, 0}, {2, 3}};
+  const std::vector<WaveBounds> waves = form_waves(ids, 16, 3);
+  ASSERT_EQ(waves.size(), 2u);
+  EXPECT_EQ(waves[0].begin, 0u);
+  EXPECT_EQ(waves[0].end, 3u);
+  EXPECT_EQ(waves[1].begin, 3u);
+  EXPECT_EQ(waves[1].end, 4u);
+  // With room for every operand the whole queue is one wave.
+  const std::vector<WaveBounds> wide = form_waves(ids, 16, 8);
+  ASSERT_EQ(wide.size(), 1u);
+  EXPECT_EQ(wide[0].end, 4u);
+}
+
+TEST(FormWaves, MaxRequestsOneDegeneratesToSingleRequestWaves) {
+  const OperandIds ids = {{0, 0}, {0, 0}, {0, 0}};
+  const std::vector<WaveBounds> waves = form_waves(ids, 1, 8);
+  ASSERT_EQ(waves.size(), 3u);
+  for (std::size_t i = 0; i < waves.size(); ++i) {
+    EXPECT_EQ(waves[i].begin, i);
+    EXPECT_EQ(waves[i].end, i + 1);
+  }
+}
+
+TEST(FormWaves, OperandCapSplitsAllDistinctTraffic) {
+  // All-distinct operands: dedup is a no-op and the operand cap is the
+  // only thing bounding wave width (2 distinct operands per request).
+  const OperandIds ids = {{0, 1}, {2, 3}, {4, 5}, {6, 7}};
+  const std::vector<WaveBounds> waves = form_waves(ids, 16, 4);
+  ASSERT_EQ(waves.size(), 2u);
+  EXPECT_EQ(waves[0].end, 2u);
+  EXPECT_EQ(waves[1].begin, 2u);
+}
+
+TEST(FormWaves, FreshOperandFreeRequestsRideAlongPastOperandCap) {
+  // Request 2 re-uses operands already in the wave: it joins even though
+  // the wave is at its operand cap.
+  const OperandIds ids = {{0, 1}, {2, 3}, {1, 2}, {4, 4}};
+  const std::vector<WaveBounds> waves = form_waves(ids, 16, 4);
+  ASSERT_EQ(waves.size(), 2u);
+  EXPECT_EQ(waves[0].end, 3u);
+  EXPECT_EQ(waves[1].begin, 3u);
+}
+
+TEST(FormWaves, UnboundedCapsYieldOneWave) {
+  const OperandIds ids = {{0, 1}, {2, 3}, {4, 5}, {6, 7}, {8, 9}};
+  const std::vector<WaveBounds> waves = form_waves(ids, 0, 0);
+  ASSERT_EQ(waves.size(), 1u);
+  EXPECT_EQ(waves[0].begin, 0u);
+  EXPECT_EQ(waves[0].end, 5u);
+}
+
+TEST(FormWaves, EmptyQueueFormsNoWaves) {
+  EXPECT_TRUE(form_waves({}, 16, 8).empty());
 }
 
 // ----------------------------------------------------------------- service
@@ -292,6 +387,160 @@ TEST_F(ServiceTest, WorkspacePoolingPreservesResults) {
   }
   EXPECT_GT(pooled.workspace_pool().stats().spa_reuses, 0);
   EXPECT_EQ(plain.workspace_pool().stats().spa_acquires, 0);
+}
+
+// ------------------------------------------------------------ wave executor
+
+TEST_F(ServiceTest, WaveOutputsBitIdenticalAndUploadsDeduped) {
+  SpgemmService::Config cfg;
+  cfg.wave.enabled = true;
+  SpgemmService waved(plat_, pool_, cfg);
+  SpgemmService plain(plat_, pool_);
+  const CsrMatrix* mats[] = {&wiki_, &enron_, &wiki_, &enron_, &wiki_,
+                             &wiki_, &enron_, &enron_};
+  for (SpgemmService* s : {&waved, &plain}) {
+    for (const CsrMatrix* m : mats) s->submit({m, nullptr, {}, ""});
+  }
+  const BatchResult w = waved.drain();
+  const BatchResult p = plain.drain();
+  ASSERT_EQ(w.results.size(), std::size(mats));
+  for (std::size_t i = 0; i < std::size(mats); ++i) {
+    const RunResult serial =
+        run_hh_cpu(*mats[i], *mats[i], HhCpuOptions{}, plat_, pool_);
+    expect_bit_identical(serial.c, w.results[i].c,
+                         "wave request " + std::to_string(i));
+    expect_bit_identical(p.results[i].c, w.results[i].c,
+                         "wave vs plain " + std::to_string(i));
+  }
+  EXPECT_TRUE(w.batch.wave_enabled);
+  EXPECT_GT(w.batch.wave.waves, 0);
+  EXPECT_EQ(w.batch.wave.wave_requests,
+            static_cast<std::int64_t>(std::size(mats)));
+  // 8 requests over 2 distinct operands: dedup must have fired.
+  EXPECT_GE(w.batch.wave.deduped_uploads, 1);
+  EXPECT_GT(w.batch.wave.uploads, 0);
+  // Every deduped use is PCIe traffic the plain schedule paid for.
+  EXPECT_LT(w.batch.h2d_busy_s, p.batch.h2d_busy_s);
+  EXPECT_NE(w.batch.to_json().find("\"wave\":{"), std::string::npos);
+}
+
+TEST_F(ServiceTest, WaveDisabledReportsByteIdenticalToLegacy) {
+  // The wave knob present-but-disabled must not perturb a single byte of
+  // the reports — including caps differing from the defaults. Workspace
+  // pooling is off in both: its reuse counts depend on worker-thread
+  // timing, not on anything the wave knob controls.
+  SpgemmService::Config base;
+  base.use_workspace_pool = false;
+  SpgemmService::Config off = base;
+  off.wave.enabled = false;
+  off.wave.max_requests = 3;
+  SpgemmService legacy(plat_, pool_, base);
+  SpgemmService gated(plat_, pool_, off);
+  for (SpgemmService* s : {&legacy, &gated}) {
+    s->submit({&wiki_, nullptr, {}, "a"});
+    s->submit({&enron_, nullptr, {}, "b"});
+    s->submit({&wiki_, nullptr, {}, "c"});
+  }
+  const BatchResult l = legacy.drain();
+  const BatchResult g = gated.drain();
+  EXPECT_FALSE(g.batch.wave_enabled);
+  EXPECT_EQ(l.batch.to_json(), g.batch.to_json());
+  EXPECT_EQ(l.batch.to_string(), g.batch.to_string());
+  EXPECT_EQ(g.batch.to_json().find("\"wave\""), std::string::npos);
+  ASSERT_EQ(l.requests.size(), g.requests.size());
+  for (std::size_t i = 0; i < l.requests.size(); ++i) {
+    EXPECT_EQ(l.requests[i].to_json(), g.requests[i].to_json());
+  }
+}
+
+TEST_F(ServiceTest, WaveAllDistinctOperandsDedupIsNoOp) {
+  const CsrMatrix a = test::random_csr(120, 120, 0.05, 11);
+  const CsrMatrix b = test::random_csr(120, 120, 0.05, 12);
+  const CsrMatrix c = test::random_csr(120, 120, 0.05, 13);
+  SpgemmService::Config cfg;
+  cfg.wave.enabled = true;
+  SpgemmService service(plat_, pool_, cfg);
+  for (const CsrMatrix* m : {&a, &b, &c}) {
+    service.submit({m, nullptr, {}, ""});
+  }
+  const BatchResult r = service.drain();
+  EXPECT_EQ(r.batch.wave.deduped_uploads, 0);
+  EXPECT_EQ(r.batch.wave.uploads, 3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const CsrMatrix* m = (i == 0) ? &a : (i == 1) ? &b : &c;
+    const RunResult serial = run_hh_cpu(*m, *m, HhCpuOptions{}, plat_, pool_);
+    expect_bit_identical(serial.c, r.results[i].c,
+                         "distinct " + std::to_string(i));
+  }
+}
+
+TEST_F(ServiceTest, WaveRefcountEvictionFiresWithoutStickyResidency) {
+  SpgemmService::Config cfg;
+  cfg.wave.enabled = true;
+  cfg.keep_inputs_resident = false;
+  SpgemmService service(plat_, pool_, cfg);
+  for (int i = 0; i < 4; ++i) service.submit({&wiki_, nullptr, {}, ""});
+  const BatchResult r = service.drain();
+  // One distinct operand, uploaded once, deduped three times, evicted when
+  // its last user finished.
+  EXPECT_EQ(r.batch.wave.uploads, 1);
+  EXPECT_EQ(r.batch.wave.deduped_uploads, 3);
+  EXPECT_GE(r.batch.wave.evictions, 1);
+  // Sticky residency keeps the operand instead.
+  SpgemmService::Config sticky;
+  sticky.wave.enabled = true;
+  SpgemmService keeper(plat_, pool_, sticky);
+  for (int i = 0; i < 4; ++i) keeper.submit({&wiki_, nullptr, {}, ""});
+  EXPECT_EQ(keeper.drain().batch.wave.evictions, 0);
+}
+
+TEST_F(ServiceTest, WaveSingleRequestWavesMatchPlainSchedule) {
+  // max_requests == 1 exercises the smallest wave shape: every wave holds
+  // one request, so batching never fires but accounting must still balance.
+  SpgemmService::Config cfg;
+  cfg.wave.enabled = true;
+  cfg.wave.max_requests = 1;
+  SpgemmService service(plat_, pool_, cfg);
+  SpgemmService plain(plat_, pool_);
+  for (SpgemmService* s : {&service, &plain}) {
+    s->submit({&wiki_, nullptr, {}, ""});
+    s->submit({&enron_, nullptr, {}, ""});
+    s->submit({&wiki_, nullptr, {}, ""});
+  }
+  const BatchResult w = service.drain();
+  const BatchResult p = plain.drain();
+  EXPECT_EQ(w.batch.wave.waves, 3);
+  EXPECT_EQ(w.batch.wave.coalesced_uploads, 0);
+  EXPECT_EQ(w.batch.wave.deduped_uploads, 0);
+  for (std::size_t i = 0; i < 3; ++i) {
+    expect_bit_identical(p.results[i].c, w.results[i].c,
+                         "single-wave " + std::to_string(i));
+  }
+}
+
+TEST_F(ServiceTest, WaveReportsAreReplayDeterministic) {
+  // Same submissions through two fresh services: every report byte —
+  // wave counters included — must match (same-seed replay determinism).
+  const auto run = [&] {
+    SpgemmService::Config cfg;
+    cfg.wave.enabled = true;
+    // Workspace-pool reuse counts depend on worker-thread timing (they
+    // pre-date waves and are not part of the replay contract): pool off.
+    cfg.use_workspace_pool = false;
+    SpgemmService service(plat_, pool_, cfg);
+    service.submit({&wiki_, nullptr, {}, "a"});
+    service.submit({&wiki_, nullptr, {}, "b"});
+    service.submit({&enron_, nullptr, {}, "c"});
+    return service.drain();
+  };
+  const BatchResult first = run();
+  const BatchResult second = run();
+  EXPECT_EQ(first.batch.to_json(), second.batch.to_json());
+  EXPECT_EQ(first.batch.to_string(), second.batch.to_string());
+  ASSERT_EQ(first.requests.size(), second.requests.size());
+  for (std::size_t i = 0; i < first.requests.size(); ++i) {
+    EXPECT_EQ(first.requests[i].to_json(), second.requests[i].to_json());
+  }
 }
 
 }  // namespace

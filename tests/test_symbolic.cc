@@ -29,6 +29,28 @@ TEST(Symbolic, TotalFlopsIsSum) {
   EXPECT_EQ(total_flops(a, a), sum);
 }
 
+TEST(Symbolic, TotalFlopsSurvivesPastTwoToTheThirtyFirst) {
+  // A tall-thin × short-fat product whose intermediate-product count blows
+  // past 2^31 while the operands stay tiny: 70000 rows of A each hit the
+  // single row of B (31000 nnz) → 2.17e9 products. A 32-bit accumulator
+  // wraps negative here; the 64-bit contract must report the exact total.
+  constexpr index_t kRowsA = 70000;
+  constexpr index_t kNnzB = 31000;
+  CsrMatrix a(kRowsA, 1);
+  a.indices.assign(static_cast<std::size_t>(kRowsA), 0);
+  a.values.assign(static_cast<std::size_t>(kRowsA), 1.0);
+  for (index_t i = 0; i < kRowsA; ++i) a.indptr[i + 1] = i + 1;
+  CsrMatrix b(1, kNnzB);
+  b.indptr = {0, kNnzB};
+  b.indices.resize(static_cast<std::size_t>(kNnzB));
+  for (index_t j = 0; j < kNnzB; ++j) b.indices[j] = j;
+  b.values.assign(static_cast<std::size_t>(kNnzB), 1.0);
+
+  const std::int64_t total = total_flops(a, b);
+  EXPECT_EQ(total, std::int64_t{kRowsA} * kNnzB);  // 2,170,000,000 > 2^31
+  EXPECT_GT(total, std::int64_t{1} << 31);
+}
+
 TEST(Symbolic, MaskedFlopsSplitAddsUp) {
   const CsrMatrix a = test::random_csr(20, 20, 0.3, 5);
   std::vector<std::uint8_t> mask(20);
