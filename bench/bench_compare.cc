@@ -1,0 +1,81 @@
+// Perf-gate comparator: diff two perf-baseline files and exit nonzero on
+// regression (docs/observability.md, "Latency attribution & perf gating").
+//
+//   ./bench_compare old.json new.json
+//
+// `old.json` is the committed snapshot (bench/baselines/), `new.json` a
+// fresh emission (run a bench with HH_BASELINE_OUT=<path>). Both sides are
+// parsed with obs/perf_baseline.hpp and compared with the default tolerance
+// bands; the human-readable verdict goes to stdout, and when HH_DIFF_OUT is
+// set the PerfDiff JSON is written there too (CI uploads it as an artifact).
+//
+// Exit codes: 0 = within bands, 1 = regression detected, 2 = usage or
+// parse/IO error. The simulator is deterministic, so identical code diffs
+// clean at any tolerance — a nonzero exit is a real behaviour change.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/perf_baseline.hpp"
+#include "util/status.hpp"
+
+namespace {
+
+bool read_file(const char* path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream os;
+  os << in.rdbuf();
+  *out = os.str();
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s <baseline.json> <fresh.json>\n",
+                 argc > 0 ? argv[0] : "bench_compare");
+    return 2;
+  }
+
+  std::string old_text, new_text;
+  if (!read_file(argv[1], &old_text)) {
+    std::fprintf(stderr, "bench_compare: cannot read %s\n", argv[1]);
+    return 2;
+  }
+  if (!read_file(argv[2], &new_text)) {
+    std::fprintf(stderr, "bench_compare: cannot read %s\n", argv[2]);
+    return 2;
+  }
+
+  hh::PerfDiff diff;
+  try {
+    const std::vector<hh::PerfBaseline> old_set =
+        hh::parse_perf_baselines(old_text);
+    const std::vector<hh::PerfBaseline> new_set =
+        hh::parse_perf_baselines(new_text);
+    diff = hh::compare_perf_baselines(old_set, new_set);
+  } catch (const hh::ParseError& e) {
+    std::fprintf(stderr, "bench_compare: %s\n", e.what());
+    return 2;
+  }
+
+  std::printf("%s vs %s\n%s", argv[1], argv[2], diff.to_string().c_str());
+
+  const char* diff_env = std::getenv("HH_DIFF_OUT");
+  if (diff_env != nullptr && diff_env[0] != '\0') {
+    if (std::FILE* f = std::fopen(diff_env, "w")) {
+      std::fprintf(f, "%s\n", diff.to_json().c_str());
+      std::fclose(f);
+      std::printf("diff record -> %s\n", diff_env);
+    } else {
+      std::fprintf(stderr, "bench_compare: cannot write %s\n", diff_env);
+      return 2;
+    }
+  }
+  return diff.regressed ? 1 : 0;
+}

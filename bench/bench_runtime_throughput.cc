@@ -54,6 +54,7 @@
 
 #include "bench_common.hpp"
 #include "gen/powerlaw_gen.hpp"
+#include "obs/perf_baseline.hpp"
 #include "runtime/service.hpp"
 #include "trace/perfetto_export.hpp"
 
@@ -529,6 +530,34 @@ int main() {
     } else {
       std::fprintf(stderr, "WARNING: could not write %s\n",
                    bench_path.c_str());
+    }
+  }
+
+  // Perf-gate baselines (obs/perf_baseline.hpp): one record per scenario,
+  // written only when HH_BASELINE_OUT names a path. CI diffs a fresh
+  // emission against the committed bench/baselines/ snapshot with
+  // bench_compare; regenerate intentionally via the refresh-baselines
+  // CMake target (docs/observability.md).
+  const char* baseline_env = std::getenv("HH_BASELINE_OUT");
+  if (baseline_env != nullptr && baseline_env[0] != '\0') {
+    std::vector<PerfBaseline> baselines;
+    baselines.push_back(baseline_from_batch("runtime_throughput.part1_pipelined",
+                                            scale, batch.batch));
+    baselines.push_back(baseline_from_batch("runtime_throughput.part2_faulted",
+                                            scale, under_faults.batch));
+    baselines.push_back(baseline_from_batch("runtime_throughput.part3_tuned",
+                                            scale, tuned_run.batch));
+    baselines.push_back(baseline_from_batch("runtime_throughput.part4_wave",
+                                            scale, on_run.batch));
+    if (std::FILE* f = std::fopen(baseline_env, "w")) {
+      const std::string text = render_perf_baselines(baselines);
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fclose(f);
+      std::printf("perf baselines -> %s\n", baseline_env);
+    } else {
+      std::fprintf(stderr, "FATAL: could not write baselines to %s\n",
+                   baseline_env);
+      return 1;
     }
   }
   return 0;

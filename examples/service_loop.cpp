@@ -54,6 +54,16 @@ int main() {
     std::printf("%s", r.to_string().c_str());
   }
 
+  // The embedded critical-path profile answers "why was this request
+  // slow" per request (docs/observability.md, latency attribution).
+  std::printf("\n---- why were the warm requests this fast/slow? ----\n");
+  for (const RequestReport& r : second.requests) {
+    if (const RequestCostBreakdown* why =
+            second.batch.critpath.find_request(r.request_id)) {
+      std::printf("%s\n", why->explain().c_str());
+    }
+  }
+
   std::printf("\nwarm vs cold makespan: %.3f ms vs %.3f ms\n",
               second.batch.makespan_s * 1e3, first.batch.makespan_s * 1e3);
 

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "fault/checksum.hpp"
+#include "obs/critpath.hpp"
 #include "obs/timeseries.hpp"
 #include "util/stats.hpp"
 #include "util/status.hpp"
@@ -64,7 +65,13 @@ std::string ReplayRunReport::to_json() const {
      << ",\"slo_reconciled\":" << (slo_reconciled ? "true" : "false")
      << ",\"slo\":" << (slo_json.empty() ? "null" : slo_json)
      << ",\"timeline\":" << (timeline_json.empty() ? "null" : timeline_json)
-     << "}";
+     << ",\"slowest\":";
+  if (slowest.empty()) {
+    os << "null";
+  } else {
+    os << "\"" << slowest << "\"";
+  }
+  os << "}";
   return os.str();
 }
 
@@ -83,6 +90,7 @@ std::string ReplayReport::to_string() const {
        << r.identity_mismatches << " identity mismatch(es), " << r.promotions
        << " promotion(s)" << (r.slo_reconciled ? "" : " [SLO MISMATCH]")
        << "\n";
+    if (!r.slowest.empty()) os << "    slowest: " << r.slowest << "\n";
   };
   row(untuned);
   row(tuned);
@@ -184,6 +192,7 @@ ReplayRunReport ReplayHarness::run_pass(const WorkloadLog& log,
 
   std::vector<double> latencies;
   latencies.reserve(log.records.size());
+  double worst_latency = -1;  // replay-clock latency of r.slowest's request
   double clock = 0;
   std::size_t batch_completed = 0;
   std::size_t batch_degraded = 0;
@@ -218,6 +227,8 @@ ReplayRunReport ReplayHarness::run_pass(const WorkloadLog& log,
     std::vector<RunResult> results;
     std::vector<RequestReport> requests;
     double wave_makespan = 0;
+    bool crit_enabled = false;  // this wave carries per-request breakdowns
+    CritPathReport crit;
     if (svc) {
       BatchResult br = svc->drain();
       results = std::move(br.results);
@@ -226,6 +237,8 @@ ReplayRunReport ReplayHarness::run_pass(const WorkloadLog& log,
       batch_completed += br.batch.completed;
       batch_degraded += br.batch.degraded;
       batch_missed += br.batch.deadline_missed;
+      crit_enabled = br.batch.critpath_enabled;
+      crit = std::move(br.batch.critpath);
     } else {
       GroupResult gr = group->drain();
       results = std::move(gr.results);
@@ -247,6 +260,13 @@ ReplayRunReport ReplayHarness::run_pass(const WorkloadLog& log,
       if (rr.deadline_missed) r.deadline_missed++;
       if (rr.deadline_missed != rec.deadline_missed) r.outcome_divergence++;
       latencies.push_back((wave_begin - target) + rr.latency_s);
+      if (crit_enabled && latencies.back() > worst_latency) {
+        if (const RequestCostBreakdown* why =
+                crit.find_request(rr.request_id)) {
+          worst_latency = latencies.back();
+          r.slowest = why->explain();
+        }
+      }
 
       const CsrMatrix& c = results[i].c;
       checksum_mix(r.output_digest, matrix_checksum(c));

@@ -77,6 +77,11 @@ struct ReplayRunReport {
   bool slo_reconciled = true;  // monitor totals match the batch reports
   std::string slo_json;        // SloMonitor end state
   std::string timeline_json;   // metrics time series ("" when disabled)
+  // "Why was this request slow": the critical-path explainer for the pass's
+  // highest-latency request (obs/critpath.hpp RequestCostBreakdown::explain).
+  // "" when the service's critpath profiler is off or the pass is sharded
+  // (group drains do not carry per-request breakdowns).
+  std::string slowest;
 
   std::string to_json() const;
 };

@@ -1,0 +1,83 @@
+// Placement provenance for the critical-path profiler (src/obs/critpath.*).
+//
+// Every positive-duration ResourceTimeline::reserve() already lands as a
+// trace span when a TraceRecorder is attached, but trace events are
+// string-keyed and optional — attribution analysis would have to re-parse
+// span names to recover which request, wave and stage produced a placement.
+// PlacementLog instead records the placement facts first-class: the stage
+// name, the resource, the dependence-allowed earliest start the caller asked
+// for (`requested_s`), the granted [start, end) window, and the request /
+// wave context the service had set when the reservation was made.
+//
+// The log is attribution-complete by construction: ResourceTimeline appends
+// one Placement per positive-duration reservation, exactly the reservations
+// that advance busy(). The service checks this invariant after every drain —
+// per resource, the sum of logged placement durations equals the timeline's
+// busy time — so critical-path attribution can trust the log without
+// cross-checking the trace.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "runtime/resource.hpp"
+
+namespace hh {
+
+/// Sentinel request id for placements made outside any request context
+/// (mirrors trace kNoRequest; kept separate so this header stays free of the
+/// trace dependency).
+inline constexpr std::size_t kNoPlacementRequest = static_cast<std::size_t>(-1);
+
+/// Sentinel wave index for placements made outside the wave executor (wave
+/// executor disabled, or batch-level work).
+inline constexpr int kNoWave = -1;
+
+/// One positive-duration resource reservation with full provenance.
+struct Placement {
+  const char* stage = "";   // static stage name passed to reserve()
+  Resource resource = Resource::kCpu;
+  double requested_s = 0;   // dependence-allowed earliest start
+  double start_s = 0;       // granted start (start - requested = queue delay)
+  double end_s = 0;
+  std::size_t request_id = kNoPlacementRequest;
+  int wave = kNoWave;
+
+  double duration_s() const { return end_s - start_s; }
+  double queue_delay_s() const { return start_s - requested_s; }
+};
+
+/// Append-only log of placements for one drain. The service sets the request
+/// / wave context around the same scopes where it sets trace identity; the
+/// timelines append into the log from inside reserve().
+class PlacementLog {
+ public:
+  void begin_request(std::size_t id) { request_ = id; }
+  void end_request() { request_ = kNoPlacementRequest; }
+  void set_wave(int wave) { wave_ = wave; }
+
+  void append(const char* stage, Resource resource, double requested_s,
+              double start_s, double end_s) {
+    placements_.push_back(
+        {stage, resource, requested_s, start_s, end_s, request_, wave_});
+  }
+
+  const std::vector<Placement>& placements() const { return placements_; }
+
+  /// Sum of logged durations on `r` — must equal the owning timeline's
+  /// busy() (the invariant the service checks after each drain).
+  double attributed_busy_s(Resource r) const {
+    double total = 0;
+    for (const Placement& p : placements_) {
+      if (p.resource == r) total += p.duration_s();
+    }
+    return total;
+  }
+
+ private:
+  std::size_t request_ = kNoPlacementRequest;
+  int wave_ = kNoWave;
+  std::vector<Placement> placements_;
+};
+
+}  // namespace hh

@@ -145,6 +145,7 @@ std::string BatchReport::to_string() const {
        << wave.batched_launches << " batched launches, " << wave.evictions
        << " evictions\n";
   }
+  if (critpath_enabled) os << "  critpath: " << critpath.to_string() << "\n";
   if (!flame.empty()) os << "  schedule (glyph = request id, '.' = idle):\n"
                          << flame;
   return os.str();
@@ -177,6 +178,8 @@ std::string BatchReport::to_json() const {
   // Emitted only when the executor is on: a disabled service's JSON stays
   // byte-identical to before the wave executor existed.
   if (wave_enabled) os << ",\"wave\":" << wave.to_json();
+  // Same contract for the critical-path profiler (on by default).
+  if (critpath_enabled) os << ",\"critpath\":" << critpath.to_json();
   os << "}";
   return os.str();
 }
@@ -296,6 +299,18 @@ BatchResult SpgemmService::drain() {
   ResourceTimeline gpu(Resource::kGpu, tr);
   ResourceTimeline h2d(Resource::kH2D, tr);
   ResourceTimeline d2h(Resource::kD2H, tr);
+  // Placement provenance for the critical-path profiler (obs/critpath.hpp):
+  // when enabled, every positive-duration reservation below lands in `plog`
+  // with the request/wave context current at reservation time — the same
+  // scopes that set trace identity, but independent of tracing.
+  PlacementLog plog;
+  PlacementLog* pl = config_.critpath ? &plog : nullptr;
+  if (pl != nullptr) {
+    cpu.attach_placements(pl);
+    gpu.attach_placements(pl);
+    h2d.attach_placements(pl);
+    d2h.attach_placements(pl);
+  }
   WorkspacePool* ws = config_.use_workspace_pool ? &workspace_ : nullptr;
   FaultInjector* fi = config_.fault_plan.enabled() ? &injector_ : nullptr;
   const RecoveryPolicy& rp = config_.recovery;
@@ -424,6 +439,7 @@ BatchResult SpgemmService::drain() {
       for (std::size_t k = 0; k < pending.size(); ++k) {
         WaveOperand& op = wave_ops[pending[k]];
         if (tr != nullptr) tr->begin_request(first_id + op.first_req);
+        if (pl != nullptr) pl->begin_request(first_id + op.first_req);
         const StageSpan s =
             h2d.reserve("wave-h2d-input", cursor, first[k].elapsed_s);
         cursor = s.end_s;
@@ -432,6 +448,7 @@ BatchResult SpgemmService::drain() {
         complete_upload(op, s.end_s);
         if (k > 0) wstats.coalesced_uploads++;
       }
+      if (pl != nullptr) pl->end_request();
       if (tr != nullptr) {
         tr->end_request();
         tr->instant_on(TraceCategory::kWave, "wave-h2d-coalesced",
@@ -446,6 +463,7 @@ BatchResult SpgemmService::drain() {
     for (std::size_t k = 0; k < pending.size(); ++k) {
       WaveOperand& op = wave_ops[pending[k]];
       if (tr != nullptr) tr->begin_request(first_id + op.first_req);
+      if (pl != nullptr) pl->begin_request(first_id + op.first_req);
       double prev_backoff_s = rp.backoff_base_s;
       int failures = 0;
       DeviceAttempt at = first[k];
@@ -510,11 +528,15 @@ BatchResult SpgemmService::drain() {
       }
     }
     if (tr != nullptr) tr->end_request();
+    if (pl != nullptr) pl->end_request();
   };
 
   for (std::size_t i = 0; i < queue_.size(); ++i) {
     if (wave_on && wave_idx < wave_bounds.size() &&
         i == wave_bounds[wave_idx].begin) {
+      // Placements from here to the next wave boundary (the preamble uploads
+      // and every member request's stages) carry this wave's index.
+      if (pl != nullptr) pl->set_wave(static_cast<int>(wave_idx));
       begin_wave(wave_bounds[wave_idx]);
       ++wave_idx;
     }
@@ -526,6 +548,7 @@ BatchResult SpgemmService::drain() {
     RequestReport rr;
     rr.request_id = first_id + i;
     if (tr != nullptr) tr->begin_request(rr.request_id);
+    if (pl != nullptr) pl->begin_request(rr.request_id);
     rr.label = req.label;
     rr.submit_s = 0;
     rr.deadline_s =
@@ -1171,6 +1194,7 @@ BatchResult SpgemmService::drain() {
     out.results.push_back(std::move(res));
     out.requests.push_back(std::move(rr));
     if (tr != nullptr) tr->end_request();
+    if (pl != nullptr) pl->end_request();
     if (wave_on && tr != nullptr && wave_idx > 0 &&
         i + 1 == wave_bounds[wave_idx - 1].end) {
       tr->instant(TraceCategory::kWave, "wave-end",
@@ -1205,6 +1229,73 @@ BatchResult SpgemmService::drain() {
     metrics_.counter("wave.evictions").inc(wstats.evictions);
     metrics_.counter("wave.h2d_bytes").inc(wstats.h2d_bytes);
   }
+
+  // ---- Critical-path profile (obs/critpath.hpp): attribute the makespan.
+  batch.critpath_enabled = pl != nullptr;
+  if (pl != nullptr) {
+    // Invariant: the provenance log is attribution-complete — per resource,
+    // the sum of logged placement durations equals the timeline's busy time
+    // (both only ever grow by positive-duration reservations).
+    const double busy[kResourceCount] = {cpu.busy(), gpu.busy(), h2d.busy(),
+                                         d2h.busy()};
+    for (int r = 0; r < kResourceCount; ++r) {
+      const double attributed =
+          pl->attributed_busy_s(static_cast<Resource>(r));
+      HH_CHECK_MSG(std::abs(attributed - busy[r]) <=
+                       1e-9 * std::max(1.0, busy[r]),
+                   "placement log does not cover the timeline's busy time");
+    }
+    std::vector<CritPathRequestInfo> infos;
+    infos.reserve(out.requests.size());
+    for (const RequestReport& r : out.requests) {
+      CritPathRequestInfo info;
+      info.request_id = r.request_id;
+      info.label = r.label;
+      info.queue_wait_s = r.queue_wait_s;
+      info.latency_s = r.latency_s;
+      info.backoff_s = r.faults.backoff_s;
+      infos.push_back(std::move(info));
+    }
+    batch.critpath = compute_critical_path(pl->placements(), makespan, infos);
+    const CritPathReport& cp = batch.critpath;
+    const double denom = std::max(cp.makespan_s, 1e-300);
+    for (int r = 0; r < kResourceCount; ++r) {
+      const char* lane = crit_lane_name(r);
+      double queueing = 0;
+      Histogram& qd = metrics_.histogram(
+          std::string("critpath.queue_delay_s.") + lane, latency_buckets_s());
+      for (const Placement& p : pl->placements()) {
+        if (static_cast<int>(p.resource) != r) continue;
+        const double delay = std::max(0.0, p.queue_delay_s());
+        queueing += delay;
+        qd.observe(delay);
+      }
+      metrics_.gauge(std::string("critpath.") + lane + ".busy_frac")
+          .set(cp.makespan_s > 0 ? busy[r] / denom : 0.0);
+      metrics_.gauge(std::string("critpath.") + lane + ".blocked_frac")
+          .set(cp.makespan_s > 0 ? queueing / denom : 0.0);
+      metrics_.gauge(std::string("critpath.") + lane + ".idle_frac")
+          .set(cp.makespan_s > 0 ? 1.0 - busy[r] / denom : 0.0);
+      metrics_.gauge(std::string("critpath.") + lane + ".crit_s")
+          .set(cp.attributed_s[r]);
+    }
+    metrics_.gauge("critpath.idle.crit_s").set(cp.attributed_s[kIdleLane]);
+    metrics_.gauge("critpath.bottleneck")
+        .set(static_cast<double>(cp.bottleneck_lane()));
+    if (tr != nullptr) {
+      // One instant per chain step; the Perfetto exporter links them with
+      // flow arrows so the critical chain reads as one thread of causality.
+      for (const CritPathStep& s : cp.steps) {
+        if (s.lane < kResourceCount) {
+          tr->instant_on(TraceCategory::kCritPath, "crit-step",
+                         static_cast<Resource>(s.lane), s.start_s);
+        } else {
+          tr->instant(TraceCategory::kCritPath, "crit-idle", s.start_s);
+        }
+      }
+    }
+  }
+
   const std::int64_t shed_total = metrics_.counter("service.shed").value();
   batch.shed = static_cast<std::size_t>(shed_total - shed_at_last_drain_);
   shed_at_last_drain_ = shed_total;

@@ -47,6 +47,7 @@
 #include "core/report.hpp"
 #include "device/platform.hpp"
 #include "fault/fault.hpp"
+#include "obs/critpath.hpp"
 #include "runtime/plan_cache.hpp"
 #include "runtime/timeline.hpp"
 #include "runtime/wave.hpp"
@@ -149,6 +150,11 @@ struct BatchReport {
   // before the executor existed.
   bool wave_enabled = false;
   WaveStats wave;
+  // Critical-path profile (obs/critpath.hpp). critpath_enabled echoes
+  // Config::critpath (on by default); when false the report stays empty and
+  // to_string / to_json omit it entirely.
+  bool critpath_enabled = false;
+  CritPathReport critpath;
   bool backoff_jitter = false;  // RecoveryPolicy::decorrelated_jitter echo
   std::string flame;  // per-resource text flame view of the whole batch
 
@@ -200,6 +206,15 @@ class SpgemmService {
     // disabled (the default), the service behaves — reports included —
     // byte-identically to before the executor existed.
     WaveConfig wave;
+    // Critical-path profiler (obs/critpath.hpp, docs/observability.md): every
+    // drain records placement provenance (runtime/placement.hpp), checks that
+    // per-resource busy time equals the sum of attributed placements, and
+    // embeds a CritPathReport — per-request latency decomposition plus the
+    // batch critical chain attributing each makespan second to
+    // cpu/gpu/h2d/d2h/idle — in the BatchReport, with critpath.* metrics and
+    // kCritPath trace instants. Pure observability: placements and outputs
+    // are unchanged either way.
+    bool critpath = true;
     // Online autotuning (src/tune/, docs/tuning.md): measured-feedback
     // refinement of cached thresholds plus cost-model calibration. Off by
     // default — a disabled tuner leaves every request, report and metric

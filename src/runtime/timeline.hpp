@@ -22,6 +22,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "runtime/placement.hpp"
 #include "runtime/resource.hpp"
 #include "trace/trace.hpp"
 
@@ -32,6 +33,11 @@ class ResourceTimeline {
   explicit ResourceTimeline(Resource r = Resource::kCpu,
                             TraceRecorder* trace = nullptr)
       : resource_(r), trace_(trace) {}
+
+  /// Attach a placement-provenance log: every positive-duration reservation
+  /// from here on is appended with the log's current request/wave context
+  /// (obs/critpath.* consumes it for latency attribution).
+  void attach_placements(PlacementLog* log) { placements_ = log; }
 
   /// Clock after the last scheduled stage.
   double now() const { return now_; }
@@ -142,6 +148,9 @@ class ResourceTimeline {
 
   StageSpan record(const char* stage, double requested, double start,
                    double end) {
+    if (placements_ != nullptr) {
+      placements_->append(stage, resource_, requested, start, end);
+    }
     if (trace_ != nullptr) {
       const bool transfer =
           resource_ == Resource::kH2D || resource_ == Resource::kD2H;
@@ -154,6 +163,7 @@ class ResourceTimeline {
 
   Resource resource_;
   TraceRecorder* trace_ = nullptr;
+  PlacementLog* placements_ = nullptr;
   std::vector<Gap> gaps_;  // idle windows, ascending, disjoint
   double now_ = 0;
   double busy_ = 0;

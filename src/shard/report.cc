@@ -66,6 +66,7 @@ std::string GroupBatchReport::to_string() const {
        << wave.batched_launches << " batched launches, " << wave.evictions
        << " evictions\n";
   }
+  if (critpath_enabled) os << "  critpath: " << critpath.to_string() << "\n";
   for (const ShardReport& s : shard_reports) {
     os << "  shard " << s.shard << " [" << s.breaker << "]: " << s.assigned
        << " assigned, " << s.completed << " completed, " << s.degraded
@@ -97,6 +98,8 @@ std::string GroupBatchReport::to_json() const {
   // Wave fields appear only when the executor is on, keeping disabled
   // groups' JSON byte-identical to before the executor existed.
   if (wave_enabled) os << ",\"wave\":" << wave.to_json();
+  // Same contract for the critical-path profiler (on by default).
+  if (critpath_enabled) os << ",\"critpath\":" << critpath.to_json();
   os << ",\"backoff_jitter\":" << jbool(backoff_jitter)
      << ",\"shard_reports\":[";
   for (std::size_t i = 0; i < shard_reports.size(); ++i) {
@@ -118,6 +121,7 @@ std::string GroupBatchReport::to_json() const {
        << ",\"overwrites\":" << s.plan_cache.overwrites
        << ",\"quarantines\":" << s.plan_cache.quarantines << "}";
     if (wave_enabled) os << ",\"wave\":" << s.wave.to_json();
+    if (critpath_enabled) os << ",\"critpath\":" << s.critpath.to_json();
     os << "}";
   }
   os << "]}";

@@ -47,6 +47,11 @@ struct ShardReport {
   WaveStats wave;                   // per-shard wave accounting; reported
                                     // only when the group's wave executor
                                     // is enabled
+  CritPathSummary critpath;         // per-shard critical-path attribution
+                                    // accumulated over the shard's drains
+                                    // (makespan_s sums round makespans);
+                                    // reported only when the group's
+                                    // profiler is enabled
 };
 
 /// Group-level accounting across one ShardedSpgemmService::drain().
@@ -73,6 +78,12 @@ struct GroupBatchReport {
   // byte-identically to before the executor existed.
   bool wave_enabled = false;
   WaveStats wave;
+  // Critical-path attribution summed over all shards' drains
+  // (obs/critpath.hpp): "critical seconds" per lane across the group, not
+  // wall time — shards drain on independent clocks. Omitted unless
+  // critpath_enabled, following the wave contract.
+  bool critpath_enabled = false;
+  CritPathSummary critpath;
   bool backoff_jitter = false;
   std::vector<ShardReport> shard_reports;  // index == shard
 

@@ -392,6 +392,9 @@ GroupResult ShardedSpgemmService::drain() {
       }
       sh.report.faults.accumulate(br.batch.faults);
       sh.report.wave.accumulate(br.batch.wave);
+      if (br.batch.critpath_enabled) {
+        sh.report.critpath.accumulate(br.batch.critpath.summary());
+      }
 
       // Breaker transitions on this round's evidence.
       if (sh.breaker == BreakerState::kHalfOpen) {
@@ -444,6 +447,7 @@ GroupResult ShardedSpgemmService::drain() {
   g.p99_latency_s = percentile(latencies, 0.99);
   g.backoff_jitter = config_.shard.recovery.decorrelated_jitter;
   g.wave_enabled = config_.shard.wave.enabled;
+  g.critpath_enabled = config_.shard.critpath;
   g.shard_reports.reserve(shard_count);
   for (std::size_t s = 0; s < shard_count; ++s) {
     Shard& sh = shards_[s];
@@ -452,6 +456,7 @@ GroupResult ShardedSpgemmService::drain() {
     g.kills += sh.report.kills;
     g.restarts += sh.report.restarts;
     g.wave.accumulate(sh.report.wave);
+    g.critpath.accumulate(sh.report.critpath);
     g.shard_reports.push_back(sh.report);
   }
   metrics_.gauge("shard.rounds").set(static_cast<double>(round_));

@@ -42,14 +42,22 @@ void Histogram::observe(double x) {
 double Histogram::percentile(double q) const {
   HH_CHECK_MSG(q > 0 && q <= 1, "percentile requires q in (0, 1]");
   if (count_ == 0) return 0;
-  const auto rank = static_cast<std::int64_t>(
-      std::ceil(q * static_cast<double>(count_)));
-  std::int64_t seen = 0;
+  // Continuous rank: the q-quantile sits `rank` observations into the
+  // distribution. The selected bucket is the first whose cumulative count
+  // covers it (necessarily non-empty, since rank > 0).
+  const double rank = q * static_cast<double>(count_);
+  std::int64_t before = 0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
-    seen += counts_[i];
-    if (seen >= rank) {
-      return i < bounds_.size() ? bounds_[i] : max_;
+    if (static_cast<double>(before + counts_[i]) >= rank) {
+      const double lo =
+          i == 0 ? std::min(min_, bounds_.empty() ? min_ : bounds_[0])
+                 : bounds_[i - 1];
+      const double hi = i < bounds_.size() ? bounds_[i] : max_;
+      const double frac =
+          (rank - static_cast<double>(before)) / static_cast<double>(counts_[i]);
+      return std::clamp(lo + frac * (hi - lo), min_, max_);
     }
+    before += counts_[i];
   }
   return max_;
 }

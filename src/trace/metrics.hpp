@@ -60,9 +60,18 @@ class Histogram {
   const std::vector<double>& upper_bounds() const { return bounds_; }
   const std::vector<std::int64_t>& bucket_counts() const { return counts_; }
 
-  /// Nearest-rank percentile estimate from the buckets: the upper bound of
-  /// the bucket holding the q-th ranked observation (max() for the overflow
-  /// bucket). q in (0, 1]. Returns 0 on an empty histogram.
+  /// Percentile estimate with linear interpolation inside the bucket
+  /// holding the continuous rank q*count (Prometheus histogram_quantile
+  /// style): the bucket's value range is taken as [previous bound, bound]
+  /// — widened to the observed min for the first bucket and capped at the
+  /// observed max for the overflow bucket — and the estimate sits at the
+  /// rank's fractional position inside it, clamped to [min(), max()].
+  ///
+  /// Error bound: the true quantile lies in the same bucket, so the
+  /// estimate is off by at most that bucket's width (for the overflow
+  /// bucket, max() - last bound); interpolation is exact when observations
+  /// are uniform within the bucket. q in (0, 1]. Returns 0 on an empty
+  /// histogram.
   double percentile(double q) const;
 
  private:

@@ -133,6 +133,36 @@ std::string chrome_trace_json(const TraceRecorder& recorder) {
     os << "}";
   }
 
+  // Critical-chain flow arrows over the kCritPath instants the service
+  // emitted after attribution (obs/critpath.hpp), in chain order. A distinct
+  // category + name keeps these flows from binding to the per-request ones
+  // (Chrome matches flows by (cat, name, id)); per (track, chain) they form
+  // one arrow thread tracing where the makespan was spent.
+  std::vector<const TraceEvent*> crit;
+  for (const TraceEvent& e : recorder.events()) {
+    if (e.kind == TraceEventKind::kInstant &&
+        e.category == TraceCategory::kCritPath) {
+      crit.push_back(&e);
+    }
+  }
+  std::stable_sort(crit.begin(), crit.end(),
+                   [](const TraceEvent* a, const TraceEvent* b) {
+                     if (a->track != b->track) return a->track < b->track;
+                     return a->start_s < b->start_s;
+                   });
+  for (std::size_t i = 0; i < crit.size(); ++i) {
+    const TraceEvent& e = *crit[i];
+    const bool first = i == 0 || crit[i - 1]->track != e.track;
+    const bool last = i + 1 == crit.size() || crit[i + 1]->track != e.track;
+    if (first && last) continue;  // one-step chain: nothing to link
+    os << ",{\"ph\":\"" << (first ? "s" : last ? "f" : "t")
+       << "\",\"id\":" << e.track << ",\"name\":\"critical-chain\","
+       << "\"cat\":\"critflow\",\"pid\":" << pid_of(e)
+       << ",\"tid\":" << tid_of(e) << ",\"ts\":" << us(e.start_s);
+    if (last) os << ",\"bp\":\"e\"";
+    os << "}";
+  }
+
   os << "]}";
   return os.str();
 }

@@ -15,6 +15,7 @@ const char* to_string(TraceCategory c) {
     case TraceCategory::kShard: return "shard";
     case TraceCategory::kSlo: return "slo";
     case TraceCategory::kWave: return "wave";
+    case TraceCategory::kCritPath: return "critpath";
   }
   return "?";
 }

@@ -51,6 +51,8 @@ enum class TraceCategory {
   kSlo = 9,        // SLO burn-rate threshold crossing (obs/slo.hpp)
   kWave = 10,      // wave executor event (begin / end / coalesced upload /
                    // refcount eviction — runtime/wave.hpp)
+  kCritPath = 11,  // batch critical-chain step (obs/critpath.hpp); the
+                   // Perfetto exporter links these with flow arrows
 };
 
 const char* to_string(TraceCategory c);

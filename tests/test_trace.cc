@@ -274,10 +274,16 @@ TEST(Metrics, HistogramBucketsAndPercentile) {
   EXPECT_EQ(h.bucket_counts()[1], 1);       // (1, 10]
   EXPECT_EQ(h.bucket_counts()[2], 1);       // (10, 100]
   EXPECT_EQ(h.bucket_counts()[3], 1);       // overflow
-  // Nearest-rank over buckets: the p40 observation sits in the first bucket.
+  // Interpolated rank within the containing bucket (Prometheus
+  // histogram_quantile style): a rank landing on a bucket's upper edge
+  // answers with the bound itself.
   EXPECT_DOUBLE_EQ(h.percentile(0.40), 1.0);
   EXPECT_DOUBLE_EQ(h.percentile(0.60), 10.0);
-  // Overflow bucket answers with the observed maximum.
+  // Rank 2.5 sits halfway through the (1, 10] bucket: 1 + 0.5 * 9 = 5.5.
+  // The answer can be off by at most the containing bucket's width.
+  EXPECT_DOUBLE_EQ(h.percentile(0.50), 5.5);
+  // Overflow bucket interpolates toward (and is clamped to) the observed
+  // maximum.
   EXPECT_DOUBLE_EQ(h.percentile(1.0), 500.0);
 }
 
